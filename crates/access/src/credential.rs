@@ -1,0 +1,223 @@
+//! Anonymous attribute credentials.
+//!
+//! The paper's §V-C asks for authorization "without knowing other vehicles'
+//! real identities": a verifier must learn *attributes* (role, automation
+//! level, group membership) but not *who*. An issuer (TA or group head)
+//! signs an attribute set bound to a pseudonym key; the subject proves
+//! possession by signing a challenge with that key. Verifiers see
+//! attributes + pseudonym — never the real identity.
+
+use crate::policy::Role;
+use vc_crypto::schnorr::{Signature, SigningKey, VerifyingKey};
+use vc_sim::node::SaeLevel;
+use vc_sim::time::SimTime;
+
+/// The attribute set an issuer vouches for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Attributes {
+    /// Role the subject may claim.
+    pub role: Role,
+    /// Certified SAE automation level.
+    pub automation: SaeLevel,
+    /// Whether the subject may lend storage.
+    pub storage_provider: bool,
+    /// Whether the subject may lend compute.
+    pub compute_provider: bool,
+}
+
+impl Attributes {
+    fn encode(&self) -> [u8; 4] {
+        let role = match self.role {
+            Role::Member => 0u8,
+            Role::Head => 1,
+            Role::Storage => 2,
+            Role::Sensor => 3,
+            Role::Gateway => 4,
+        };
+        [role, self.automation.as_u8(), self.storage_provider as u8, self.compute_provider as u8]
+    }
+}
+
+/// A signed attribute credential bound to a pseudonym key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributeCredential {
+    /// The certified attributes.
+    pub attributes: Attributes,
+    /// The pseudonym key the credential is bound to.
+    pub subject_key: VerifyingKey,
+    /// Expiry.
+    pub valid_until: SimTime,
+    /// Issuer signature.
+    pub issuer_signature: Signature,
+}
+
+impl AttributeCredential {
+    fn signed_bytes(attrs: &Attributes, key: &VerifyingKey, until: SimTime) -> Vec<u8> {
+        let mut out = attrs.encode().to_vec();
+        out.extend_from_slice(&key.to_bytes());
+        out.extend_from_slice(&until.as_micros().to_be_bytes());
+        out
+    }
+}
+
+/// An attribute issuer (the TA at registration, or a group head for
+/// role attributes).
+#[derive(Debug)]
+pub struct AttributeIssuer {
+    key: SigningKey,
+}
+
+impl AttributeIssuer {
+    /// Creates an issuer from seed material.
+    pub fn new(seed: &[u8]) -> Self {
+        AttributeIssuer { key: SigningKey::from_seed(seed) }
+    }
+
+    /// The issuer's public key, known to verifiers.
+    pub fn public_key(&self) -> VerifyingKey {
+        self.key.verifying_key()
+    }
+
+    /// Issues a credential binding `attributes` to `subject_key`.
+    pub fn issue(
+        &self,
+        attributes: Attributes,
+        subject_key: VerifyingKey,
+        valid_until: SimTime,
+    ) -> AttributeCredential {
+        let body = AttributeCredential::signed_bytes(&attributes, &subject_key, valid_until);
+        AttributeCredential {
+            attributes,
+            subject_key,
+            valid_until,
+            issuer_signature: self.key.sign(&body),
+        }
+    }
+}
+
+/// A proof of credential possession over a verifier-chosen challenge.
+#[derive(Debug, Clone)]
+pub struct PossessionProof {
+    /// The presented credential.
+    pub credential: AttributeCredential,
+    /// Signature over the challenge with the credential's subject key.
+    pub challenge_signature: Signature,
+}
+
+/// Subject side: produce a possession proof for `challenge`.
+pub fn prove_possession(
+    credential: &AttributeCredential,
+    subject_key: &SigningKey,
+    challenge: &[u8],
+) -> PossessionProof {
+    PossessionProof {
+        credential: credential.clone(),
+        challenge_signature: subject_key.sign(challenge),
+    }
+}
+
+/// Verifier side: check the proof and return the certified attributes.
+///
+/// Returns `None` when the issuer signature, expiry, or challenge signature
+/// fails — the caller learns attributes only from a sound proof.
+pub fn verify_possession(
+    proof: &PossessionProof,
+    issuer_key: &VerifyingKey,
+    challenge: &[u8],
+    now: SimTime,
+) -> Option<Attributes> {
+    let cred = &proof.credential;
+    if now > cred.valid_until {
+        return None;
+    }
+    let body = AttributeCredential::signed_bytes(&cred.attributes, &cred.subject_key, cred.valid_until);
+    if !issuer_key.verify(&body, &cred.issuer_signature) {
+        return None;
+    }
+    if !cred.subject_key.verify(challenge, &proof.challenge_signature) {
+        return None;
+    }
+    Some(cred.attributes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attrs() -> Attributes {
+        Attributes {
+            role: Role::Storage,
+            automation: SaeLevel::L4,
+            storage_provider: true,
+            compute_provider: false,
+        }
+    }
+
+    fn setup() -> (AttributeIssuer, SigningKey, AttributeCredential) {
+        let issuer = AttributeIssuer::new(b"issuer");
+        let subject = SigningKey::from_seed(b"subject-pseudonym");
+        let cred = issuer.issue(attrs(), subject.verifying_key(), SimTime::from_secs(1000));
+        (issuer, subject, cred)
+    }
+
+    #[test]
+    fn prove_and_verify() {
+        let (issuer, subject, cred) = setup();
+        let proof = prove_possession(&cred, &subject, b"challenge-123");
+        let got = verify_possession(&proof, &issuer.public_key(), b"challenge-123", SimTime::from_secs(10));
+        assert_eq!(got, Some(attrs()));
+    }
+
+    #[test]
+    fn stolen_credential_without_key_fails() {
+        let (issuer, _, cred) = setup();
+        let thief = SigningKey::from_seed(b"thief");
+        let proof = prove_possession(&cred, &thief, b"challenge");
+        assert_eq!(
+            verify_possession(&proof, &issuer.public_key(), b"challenge", SimTime::from_secs(10)),
+            None
+        );
+    }
+
+    #[test]
+    fn wrong_challenge_fails() {
+        let (issuer, subject, cred) = setup();
+        let proof = prove_possession(&cred, &subject, b"challenge-A");
+        assert_eq!(
+            verify_possession(&proof, &issuer.public_key(), b"challenge-B", SimTime::from_secs(10)),
+            None
+        );
+    }
+
+    #[test]
+    fn expired_credential_fails() {
+        let (issuer, subject, cred) = setup();
+        let proof = prove_possession(&cred, &subject, b"c");
+        assert_eq!(
+            verify_possession(&proof, &issuer.public_key(), b"c", SimTime::from_secs(2000)),
+            None
+        );
+    }
+
+    #[test]
+    fn self_issued_attributes_fail() {
+        let (issuer, subject, _) = setup();
+        // Subject forges a credential claiming Head role, signed by itself.
+        let fake_issuer = AttributeIssuer::new(b"subject-as-issuer");
+        let forged = fake_issuer.issue(
+            Attributes { role: Role::Head, ..attrs() },
+            subject.verifying_key(),
+            SimTime::from_secs(1000),
+        );
+        let proof = prove_possession(&forged, &subject, b"c");
+        assert_eq!(verify_possession(&proof, &issuer.public_key(), b"c", SimTime::from_secs(1)), None);
+    }
+
+    #[test]
+    fn tampered_attributes_fail() {
+        let (issuer, subject, mut cred) = setup();
+        cred.attributes.role = Role::Head;
+        let proof = prove_possession(&cred, &subject, b"c");
+        assert_eq!(verify_possession(&proof, &issuer.public_key(), b"c", SimTime::from_secs(1)), None);
+    }
+}

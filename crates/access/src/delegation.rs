@@ -1,0 +1,337 @@
+//! Delegation chains: controlled re-sharing of package access
+//! (paper §V-C — the data owner must control "which vehicles are allowed to
+//! perform what actions", including when data is passed onward).
+//!
+//! [`Action::Delegate`] in a policy says a grantee may re-share; this module
+//! is the mechanism: a signed chain of grants, each link signed by the
+//! previous holder, with monotonically *narrowing* actions, a depth bound
+//! set by the owner, and per-link expiry. Verifiers walk the chain with only
+//! the owner's public key.
+
+use crate::policy::Action;
+use vc_crypto::schnorr::{Signature, SigningKey, VerifyingKey};
+use vc_sim::time::SimTime;
+
+/// One link: "the holder of `grantee` may perform `actions` on package
+/// `package_id` until `expires_at`".
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelegationGrant {
+    /// The package being shared.
+    pub package_id: u64,
+    /// The grantee's (pseudonym) key.
+    pub grantee: VerifyingKey,
+    /// Actions granted (must be a subset of the grantor's own).
+    pub actions: Vec<Action>,
+    /// Remaining re-delegation depth after this link (0 = leaf).
+    pub depth_remaining: u8,
+    /// Link expiry.
+    pub expires_at: SimTime,
+    /// Signature by the grantor (the owner for the first link, the previous
+    /// grantee afterwards).
+    pub signature: Signature,
+}
+
+impl DelegationGrant {
+    fn signed_bytes(
+        package_id: u64,
+        grantee: &VerifyingKey,
+        actions: &[Action],
+        depth_remaining: u8,
+        expires_at: SimTime,
+    ) -> Vec<u8> {
+        let mut out = b"vc-delegation".to_vec();
+        out.extend_from_slice(&package_id.to_be_bytes());
+        out.extend_from_slice(&grantee.to_bytes());
+        for a in actions {
+            out.push(match a {
+                Action::Read => 0,
+                Action::Write => 1,
+                Action::Compute => 2,
+                Action::Delegate => 3,
+            });
+        }
+        out.push(0xFF);
+        out.push(depth_remaining);
+        out.extend_from_slice(&expires_at.as_micros().to_be_bytes());
+        out
+    }
+}
+
+/// A chain of grants from the owner down to the final holder.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DelegationChain {
+    /// Links, owner-issued first.
+    pub grants: Vec<DelegationGrant>,
+}
+
+/// Why a chain failed verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DelegationError {
+    /// The chain has no links.
+    Empty,
+    /// A link's signature does not verify against its grantor.
+    BadSignature,
+    /// A link grants an action its grantor did not hold.
+    ActionEscalation,
+    /// The chain exceeds the owner's depth bound.
+    DepthExceeded,
+    /// A link is expired.
+    Expired,
+    /// A link references the wrong package.
+    WrongPackage,
+}
+
+impl std::fmt::Display for DelegationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DelegationError::Empty => "empty delegation chain",
+            DelegationError::BadSignature => "delegation link signature invalid",
+            DelegationError::ActionEscalation => "delegation widens actions",
+            DelegationError::DepthExceeded => "delegation depth exceeded",
+            DelegationError::Expired => "delegation link expired",
+            DelegationError::WrongPackage => "delegation for a different package",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for DelegationError {}
+
+/// Issues a grant as `grantor` (the owner, or a prior grantee holding the
+/// Delegate right).
+pub fn grant(
+    grantor: &SigningKey,
+    package_id: u64,
+    grantee: VerifyingKey,
+    actions: Vec<Action>,
+    depth_remaining: u8,
+    expires_at: SimTime,
+) -> DelegationGrant {
+    let body =
+        DelegationGrant::signed_bytes(package_id, &grantee, &actions, depth_remaining, expires_at);
+    DelegationGrant {
+        package_id,
+        grantee,
+        actions,
+        depth_remaining,
+        expires_at,
+        signature: grantor.sign(&body),
+    }
+}
+
+/// Verifies a chain: returns the actions the *final* grantee holds for
+/// `package_id` at `now`, after all narrowing.
+///
+/// # Errors
+///
+/// The first [`DelegationError`] encountered walking owner → leaf.
+pub fn verify_chain(
+    chain: &DelegationChain,
+    owner: &VerifyingKey,
+    package_id: u64,
+    now: SimTime,
+) -> Result<Vec<Action>, DelegationError> {
+    if chain.grants.is_empty() {
+        return Err(DelegationError::Empty);
+    }
+    let mut grantor_key = *owner;
+    // The owner implicitly holds every action.
+    let mut held: Vec<Action> =
+        vec![Action::Read, Action::Write, Action::Compute, Action::Delegate];
+    let mut allowed_depth: Option<u8> = None;
+    for link in &chain.grants {
+        if link.package_id != package_id {
+            return Err(DelegationError::WrongPackage);
+        }
+        if now > link.expires_at {
+            return Err(DelegationError::Expired);
+        }
+        // Depth: the owner's first link sets the budget; every later link
+        // must strictly decrease it.
+        match allowed_depth {
+            None => allowed_depth = Some(link.depth_remaining),
+            Some(prev) => {
+                if prev == 0 || link.depth_remaining >= prev {
+                    return Err(DelegationError::DepthExceeded);
+                }
+                allowed_depth = Some(link.depth_remaining);
+            }
+        }
+        // Non-leaf links require the grantor to hold Delegate; actions only
+        // narrow.
+        if !link.actions.iter().all(|a| held.contains(a)) {
+            return Err(DelegationError::ActionEscalation);
+        }
+        let body = DelegationGrant::signed_bytes(
+            link.package_id,
+            &link.grantee,
+            &link.actions,
+            link.depth_remaining,
+            link.expires_at,
+        );
+        if !grantor_key.verify(&body, &link.signature) {
+            return Err(DelegationError::BadSignature);
+        }
+        // Advance: the grantee becomes the next grantor; it holds only the
+        // granted actions, and may extend the chain only if it got Delegate.
+        held = link.actions.clone();
+        grantor_key = link.grantee;
+    }
+    // Trailing links beyond a grantor without Delegate are caught above via
+    // ActionEscalation (Delegate missing from `held` means the next link's
+    // existence required an action the grantor did not hold). Make it
+    // explicit: a chain whose non-final link lacks Delegate is invalid.
+    for link in &chain.grants[..chain.grants.len() - 1] {
+        if !link.actions.contains(&Action::Delegate) {
+            return Err(DelegationError::ActionEscalation);
+        }
+    }
+    Ok(held)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys() -> (SigningKey, SigningKey, SigningKey) {
+        (
+            SigningKey::from_seed(b"owner"),
+            SigningKey::from_seed(b"alice"),
+            SigningKey::from_seed(b"bob"),
+        )
+    }
+
+    fn far() -> SimTime {
+        SimTime::from_secs(10_000)
+    }
+
+    #[test]
+    fn single_grant_verifies() {
+        let (owner, alice, _) = keys();
+        let g = grant(&owner, 7, alice.verifying_key(), vec![Action::Read], 2, far());
+        let chain = DelegationChain { grants: vec![g] };
+        let actions = verify_chain(&chain, &owner.verifying_key(), 7, SimTime::from_secs(1)).unwrap();
+        assert_eq!(actions, vec![Action::Read]);
+    }
+
+    #[test]
+    fn two_hop_chain_narrows() {
+        let (owner, alice, bob) = keys();
+        let g1 = grant(
+            &owner,
+            7,
+            alice.verifying_key(),
+            vec![Action::Read, Action::Compute, Action::Delegate],
+            2,
+            far(),
+        );
+        let g2 = grant(&alice, 7, bob.verifying_key(), vec![Action::Read], 1, far());
+        let chain = DelegationChain { grants: vec![g1, g2] };
+        let actions = verify_chain(&chain, &owner.verifying_key(), 7, SimTime::from_secs(1)).unwrap();
+        assert_eq!(actions, vec![Action::Read], "bob holds only what alice passed");
+    }
+
+    #[test]
+    fn action_escalation_rejected() {
+        let (owner, alice, bob) = keys();
+        let g1 = grant(&owner, 7, alice.verifying_key(), vec![Action::Read, Action::Delegate], 2, far());
+        // Alice tries to grant Write, which she never held.
+        let g2 = grant(&alice, 7, bob.verifying_key(), vec![Action::Write], 1, far());
+        let chain = DelegationChain { grants: vec![g1, g2] };
+        assert_eq!(
+            verify_chain(&chain, &owner.verifying_key(), 7, SimTime::from_secs(1)),
+            Err(DelegationError::ActionEscalation)
+        );
+    }
+
+    #[test]
+    fn delegation_without_delegate_right_rejected() {
+        let (owner, alice, bob) = keys();
+        // Alice got Read only (no Delegate) but tries to extend the chain.
+        let g1 = grant(&owner, 7, alice.verifying_key(), vec![Action::Read], 2, far());
+        let g2 = grant(&alice, 7, bob.verifying_key(), vec![Action::Read], 1, far());
+        let chain = DelegationChain { grants: vec![g1, g2] };
+        assert_eq!(
+            verify_chain(&chain, &owner.verifying_key(), 7, SimTime::from_secs(1)),
+            Err(DelegationError::ActionEscalation)
+        );
+    }
+
+    #[test]
+    fn depth_budget_enforced() {
+        let (owner, alice, bob) = keys();
+        let carol = SigningKey::from_seed(b"carol");
+        let g1 = grant(&owner, 7, alice.verifying_key(), vec![Action::Read, Action::Delegate], 1, far());
+        let g2 = grant(&alice, 7, bob.verifying_key(), vec![Action::Read, Action::Delegate], 0, far());
+        let g3 = grant(&bob, 7, carol.verifying_key(), vec![Action::Read], 0, far());
+        let chain = DelegationChain { grants: vec![g1, g2, g3] };
+        assert_eq!(
+            verify_chain(&chain, &owner.verifying_key(), 7, SimTime::from_secs(1)),
+            Err(DelegationError::DepthExceeded)
+        );
+    }
+
+    #[test]
+    fn non_decreasing_depth_rejected() {
+        let (owner, alice, bob) = keys();
+        let g1 = grant(&owner, 7, alice.verifying_key(), vec![Action::Read, Action::Delegate], 1, far());
+        // Alice claims MORE depth than she was given.
+        let g2 = grant(&alice, 7, bob.verifying_key(), vec![Action::Read], 5, far());
+        let chain = DelegationChain { grants: vec![g1, g2] };
+        assert_eq!(
+            verify_chain(&chain, &owner.verifying_key(), 7, SimTime::from_secs(1)),
+            Err(DelegationError::DepthExceeded)
+        );
+    }
+
+    #[test]
+    fn expired_link_rejected() {
+        let (owner, alice, _) = keys();
+        let g = grant(&owner, 7, alice.verifying_key(), vec![Action::Read], 1, SimTime::from_secs(5));
+        let chain = DelegationChain { grants: vec![g] };
+        assert_eq!(
+            verify_chain(&chain, &owner.verifying_key(), 7, SimTime::from_secs(6)),
+            Err(DelegationError::Expired)
+        );
+    }
+
+    #[test]
+    fn forged_first_link_rejected() {
+        let (owner, alice, _) = keys();
+        let mallory = SigningKey::from_seed(b"mallory");
+        // Mallory signs a grant pretending to be the owner.
+        let g = grant(&mallory, 7, alice.verifying_key(), vec![Action::Read], 1, far());
+        let chain = DelegationChain { grants: vec![g] };
+        assert_eq!(
+            verify_chain(&chain, &owner.verifying_key(), 7, SimTime::from_secs(1)),
+            Err(DelegationError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn wrong_package_and_empty_rejected() {
+        let (owner, alice, _) = keys();
+        let g = grant(&owner, 8, alice.verifying_key(), vec![Action::Read], 1, far());
+        let chain = DelegationChain { grants: vec![g] };
+        assert_eq!(
+            verify_chain(&chain, &owner.verifying_key(), 7, SimTime::from_secs(1)),
+            Err(DelegationError::WrongPackage)
+        );
+        assert_eq!(
+            verify_chain(&DelegationChain::default(), &owner.verifying_key(), 7, SimTime::from_secs(1)),
+            Err(DelegationError::Empty)
+        );
+    }
+
+    #[test]
+    fn tampered_actions_rejected() {
+        let (owner, alice, _) = keys();
+        let mut g = grant(&owner, 7, alice.verifying_key(), vec![Action::Read], 1, far());
+        g.actions.push(Action::Write);
+        let chain = DelegationChain { grants: vec![g] };
+        assert_eq!(
+            verify_chain(&chain, &owner.verifying_key(), 7, SimTime::from_secs(1)),
+            Err(DelegationError::BadSignature)
+        );
+    }
+}

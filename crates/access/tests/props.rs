@@ -1,0 +1,154 @@
+//! Property-based tests for policies, audit chains, and enforcement.
+
+use proptest::prelude::*;
+use vc_access::audit::AuditLog;
+use vc_access::policy::{Action, Context, Decision, Expr, Policy, Role};
+use vc_auth::pseudonym::PseudonymId;
+use vc_sim::geom::{Point, Rect};
+use vc_sim::node::SaeLevel;
+use vc_sim::time::SimTime;
+
+fn role() -> impl Strategy<Value = Role> {
+    prop_oneof![
+        Just(Role::Member),
+        Just(Role::Head),
+        Just(Role::Storage),
+        Just(Role::Sensor),
+        Just(Role::Gateway),
+    ]
+}
+
+fn sae() -> impl Strategy<Value = SaeLevel> {
+    (0u8..=5).prop_map(|n| SaeLevel::from_u8(n).unwrap())
+}
+
+fn action() -> impl Strategy<Value = Action> {
+    prop_oneof![Just(Action::Read), Just(Action::Write), Just(Action::Compute), Just(Action::Delegate)]
+}
+
+fn context() -> impl Strategy<Value = Context> {
+    (role(), 0.0f64..60.0, -500.0f64..500.0, -500.0f64..500.0, sae(), any::<bool>(), 0u64..10_000)
+        .prop_map(|(role, speed, x, y, automation, emergency, t)| Context {
+            role,
+            speed,
+            position: Point::new(x, y),
+            automation,
+            emergency,
+            now: SimTime::from_secs(t),
+        })
+}
+
+fn expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        Just(Expr::True),
+        Just(Expr::False),
+        role().prop_map(Expr::HasRole),
+        (0.0f64..60.0).prop_map(Expr::SpeedBelow),
+        sae().prop_map(Expr::AutomationAtLeast),
+        Just(Expr::EmergencyActive),
+        (0u64..10_000).prop_map(|t| Expr::Before(SimTime::from_secs(t))),
+        (0u64..10_000).prop_map(|t| Expr::After(SimTime::from_secs(t))),
+        (-500.0f64..0.0, -500.0f64..0.0, 0.0f64..500.0, 0.0f64..500.0).prop_map(|(x1, y1, x2, y2)| {
+            Expr::WithinRegion(Rect::new(Point::new(x1, y1), Point::new(x2, y2)))
+        }),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.prop_map(|e| e.negate()),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // Boolean-algebra identities hold for every expression and context.
+    #[test]
+    fn expr_de_morgan(a in expr(), b in expr(), ctx in context()) {
+        let lhs = a.clone().and(b.clone()).negate().eval(&ctx);
+        let rhs = a.negate().or(b.negate()).eval(&ctx);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn expr_double_negation(a in expr(), ctx in context()) {
+        prop_assert_eq!(a.clone().negate().negate().eval(&ctx), a.eval(&ctx));
+    }
+
+    // Adding rules never revokes a permit (policies are additive).
+    #[test]
+    fn policies_are_additive(base_expr in expr(), extra in expr(), act in action(), ctx in context()) {
+        let small = Policy::new().allow(act, base_expr.clone());
+        let big = Policy::new().allow(act, base_expr).allow(act, extra);
+        if small.decide(act, &ctx).is_permit() {
+            prop_assert!(big.decide(act, &ctx).is_permit());
+        }
+    }
+
+    // Emergency escalations only ever ADD permissions, never remove them,
+    // and only fire in emergency contexts.
+    #[test]
+    fn emergency_is_monotone(normal in expr(), escalation in expr(), act in action(), ctx in context()) {
+        let plain = Policy::new().allow(act, normal.clone());
+        let escalated = Policy::new().allow(act, normal).allow_in_emergency(act, escalation);
+        let before = plain.decide(act, &ctx);
+        let after = escalated.decide(act, &ctx);
+        if before.is_permit() {
+            prop_assert!(after.is_permit());
+        }
+        if !ctx.emergency {
+            prop_assert_eq!(before, after, "escalations are inert outside emergencies");
+        }
+    }
+
+    // Unlisted actions are always denied.
+    #[test]
+    fn default_deny_holds(e in expr(), ctx in context()) {
+        let p = Policy::new().allow(Action::Read, e);
+        prop_assert_eq!(p.decide(Action::Delegate, &ctx), Decision::Deny);
+    }
+
+    // The audit chain detects any single-field mutation of any record.
+    #[test]
+    fn audit_chain_detects_any_mutation(
+        n in 2usize..20,
+        victim in any::<u16>(),
+        field in 0u8..3,
+    ) {
+        let mut log = AuditLog::new();
+        for i in 0..n {
+            log.append(
+                SimTime::from_secs(i as u64),
+                PseudonymId(i as u64),
+                Action::Read,
+                Decision::Permit,
+            );
+        }
+        prop_assert!(log.verify(None));
+        let head = log.head().unwrap();
+        // Clone-and-mutate via serialization of fields we can reach: rebuild
+        // a log with one record changed.
+        let mut tampered = log.clone();
+        let idx = victim as usize % n;
+        // Mutate through the public records view is impossible; rebuild:
+        let mut rebuilt = AuditLog::new();
+        for (i, r) in tampered.records().iter().enumerate() {
+            let (who, action, decision) = if i == idx {
+                match field {
+                    0 => (PseudonymId(r.who.0 ^ 1), r.action, r.decision),
+                    1 => (r.who, Action::Write, r.decision),
+                    _ => (r.who, r.action, Decision::Deny),
+                }
+            } else {
+                (r.who, r.action, r.decision)
+            };
+            rebuilt.append(r.at, who, action, decision);
+        }
+        tampered = rebuilt;
+        // The rebuilt chain is internally consistent but its head differs.
+        prop_assert!(tampered.verify(None));
+        prop_assert!(!tampered.verify(Some(&head)), "mutation must change the head");
+    }
+}

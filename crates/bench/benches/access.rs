@@ -1,0 +1,179 @@
+//! Criterion benches for access control and trust evaluation — the
+//! "stringent time constraints" cost basis of experiments E5/E9.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vc_access::audit::AuditLog;
+use vc_access::credential::{prove_possession, AttributeIssuer, Attributes};
+use vc_access::package::{challenge_bytes, DataPackage, TpdEnforcer};
+use vc_access::policy::{Action, Context, Decision, Expr, Policy, Role};
+use vc_auth::pseudonym::PseudonymId;
+use vc_crypto::schnorr::SigningKey;
+use vc_sim::geom::Point;
+use vc_sim::node::SaeLevel;
+use vc_sim::time::SimTime;
+use vc_trust::prelude::*;
+
+fn deep_expr(depth: usize) -> Expr {
+    let mut e = Expr::HasRole(Role::Storage);
+    for i in 0..depth {
+        e = e.or(Expr::SpeedBelow(i as f64).and(Expr::AutomationAtLeast(SaeLevel::L3)));
+    }
+    e
+}
+
+fn bench_policy_eval(c: &mut Criterion) {
+    let ctx = Context::member_at(Point::new(0.0, 0.0), SimTime::from_secs(1));
+    let mut group = c.benchmark_group("policy/decide");
+    for depth in [1usize, 8, 64] {
+        let policy = Policy::new().allow(Action::Read, deep_expr(depth));
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &policy, |b, p| {
+            b.iter(|| p.decide(Action::Read, black_box(&ctx)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_credentials(c: &mut Criterion) {
+    let issuer = AttributeIssuer::new(b"issuer");
+    let subject = SigningKey::from_seed(b"subject");
+    let attrs = Attributes {
+        role: Role::Storage,
+        automation: SaeLevel::L4,
+        storage_provider: true,
+        compute_provider: true,
+    };
+    let cred = issuer.issue(attrs, subject.verifying_key(), SimTime::from_secs(1_000));
+    let challenge = challenge_bytes(1, SimTime::from_secs(5));
+    c.bench_function("credential/prove", |b| {
+        b.iter(|| prove_possession(black_box(&cred), &subject, &challenge));
+    });
+    let proof = prove_possession(&cred, &subject, &challenge);
+    c.bench_function("credential/verify", |b| {
+        b.iter(|| {
+            vc_access::credential::verify_possession(
+                black_box(&proof),
+                &issuer.public_key(),
+                &challenge,
+                SimTime::from_secs(5),
+            )
+        });
+    });
+}
+
+fn bench_package(c: &mut Criterion) {
+    let tpd = TpdEnforcer::new(b"tpd");
+    let owner = SigningKey::from_seed(b"owner");
+    let payload = vec![0u8; 4096];
+    c.bench_function("package/seal_4KiB", |b| {
+        b.iter(|| {
+            DataPackage::seal_new(
+                1,
+                black_box(&payload),
+                Policy::new().allow(Action::Read, Expr::True),
+                &owner,
+                &tpd.public_share(),
+                7,
+            )
+        });
+    });
+
+    // Full enforcement path.
+    let issuer = AttributeIssuer::new(b"issuer");
+    let subject = SigningKey::from_seed(b"subject");
+    let attrs = Attributes {
+        role: Role::Storage,
+        automation: SaeLevel::L4,
+        storage_provider: true,
+        compute_provider: true,
+    };
+    let cred = issuer.issue(attrs, subject.verifying_key(), SimTime::from_secs(1_000));
+    let now = SimTime::from_secs(5);
+    let proof = prove_possession(&cred, &subject, &challenge_bytes(1, now));
+    let ctx = Context::member_at(Point::new(0.0, 0.0), now);
+    c.bench_function("package/request_access", |b| {
+        b.iter_batched(
+            || {
+                DataPackage::seal_new(
+                    1,
+                    &payload,
+                    Policy::new().allow(Action::Read, Expr::HasRole(Role::Storage)),
+                    &owner,
+                    &tpd.public_share(),
+                    7,
+                )
+            },
+            |mut pkg| {
+                tpd.request_access(
+                    &mut pkg,
+                    Action::Read,
+                    &proof,
+                    &issuer.public_key(),
+                    &ctx,
+                    PseudonymId(1),
+                )
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_audit(c: &mut Criterion) {
+    c.bench_function("audit/append", |b| {
+        let mut log = AuditLog::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            log.append(SimTime::from_secs(i), PseudonymId(i), Action::Read, Decision::Permit);
+            i += 1;
+        });
+    });
+    let mut log = AuditLog::new();
+    for i in 0..1000 {
+        log.append(SimTime::from_secs(i), PseudonymId(i), Action::Read, Decision::Permit);
+    }
+    c.bench_function("audit/verify_1000", |b| {
+        b.iter(|| log.verify(black_box(None)));
+    });
+}
+
+fn bench_trust(c: &mut Criterion) {
+    let mut rep = ReputationStore::new();
+    for r in 0..50u64 {
+        for _ in 0..5 {
+            rep.record(r, r % 3 != 0);
+        }
+    }
+    let reports: Vec<Report> = (0..50u64)
+        .map(|r| Report {
+            reporter: r,
+            kind: EventKind::Ice,
+            location: Point::new(0.0, 0.0),
+            observed_at: SimTime::from_secs(1),
+            claim: r % 4 != 0,
+            reporter_pos: Point::new(20.0, 0.0),
+            reporter_speed: 12.0,
+            path: vec![vc_sim::node::VehicleId((r % 7) as u32)],
+        })
+        .collect();
+    let cluster = EventCluster { reports: reports.clone() };
+    let mut group = c.benchmark_group("trust/score_50_reports");
+    for v in all_validators() {
+        group.bench_function(v.name(), |b| {
+            b.iter(|| v.score(black_box(&cluster), &rep));
+        });
+    }
+    group.finish();
+    c.bench_function("trust/classify_50", |b| {
+        b.iter(|| classify(black_box(&reports), &ClassifierConfig::default()));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_policy_eval,
+    bench_credentials,
+    bench_package,
+    bench_audit,
+    bench_trust
+);
+criterion_main!(benches);

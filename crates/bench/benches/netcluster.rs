@@ -1,0 +1,90 @@
+//! Criterion benches for clustering and routing rounds — the per-round cost
+//! basis of experiment E8.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vc_net::cluster::{form_clusters, ClusterConfig};
+use vc_net::netsim::NetSim;
+use vc_net::routing::{ClusterRouting, Epidemic, GreedyGeo, MozoRouting};
+use vc_net::world::WorldView;
+use vc_sim::geom::Point;
+use vc_sim::radio::NeighborTable;
+use vc_sim::rng::SimRng;
+use vc_sim::scenario::ScenarioBuilder;
+
+struct Snapshot {
+    positions: Vec<Point>,
+    velocities: Vec<Point>,
+    online: Vec<bool>,
+    table: NeighborTable,
+}
+
+fn snapshot(n: usize) -> Snapshot {
+    let mut rng = SimRng::seed_from(7);
+    let positions: Vec<Point> =
+        (0..n).map(|_| Point::new(rng.range_f64(0.0, 1200.0), rng.range_f64(0.0, 1200.0))).collect();
+    let velocities: Vec<Point> =
+        (0..n).map(|_| Point::new(rng.range_f64(-20.0, 20.0), rng.range_f64(-20.0, 20.0))).collect();
+    let online = vec![true; n];
+    let table = NeighborTable::build(&positions, &online, 300.0);
+    Snapshot { positions, velocities, online, table }
+}
+
+fn bench_neighbor_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("neighbor_table/build");
+    for n in [50usize, 200, 800] {
+        let snap = snapshot(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &snap, |b, s| {
+            b.iter(|| NeighborTable::build(black_box(&s.positions), &s.online, 300.0));
+        });
+    }
+    group.finish();
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clustering/form");
+    for n in [50usize, 200] {
+        let snap = snapshot(n);
+        let world = WorldView {
+            positions: &snap.positions,
+            velocities: &snap.velocities,
+            online: &snap.online,
+            neighbors: &snap.table,
+        };
+        group.bench_function(BenchmarkId::new("multi_hop", n), |b| {
+            b.iter(|| form_clusters(black_box(&world), &ClusterConfig::multi_hop()));
+        });
+        group.bench_function(BenchmarkId::new("moving_zone", n), |b| {
+            b.iter(|| form_clusters(black_box(&world), &ClusterConfig::moving_zone()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_routing_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing/20_rounds_60_vehicles");
+    group.sample_size(20);
+    macro_rules! bench_proto {
+        ($name:literal, $proto:expr) => {
+            group.bench_function($name, |b| {
+                b.iter(|| {
+                    let mut builder = ScenarioBuilder::new();
+                    builder.seed(3).vehicles(60);
+                    let mut scenario = builder.urban_with_rsus();
+                    let mut sim = NetSim::new(&mut scenario, $proto);
+                    sim.send_random_pairs(10, 256);
+                    sim.run_rounds(20);
+                    black_box(sim.stats().delivered)
+                });
+            });
+        };
+    }
+    bench_proto!("epidemic", Epidemic);
+    bench_proto!("greedy", GreedyGeo);
+    bench_proto!("cluster", ClusterRouting::new());
+    bench_proto!("mozo", MozoRouting::new());
+    group.finish();
+}
+
+criterion_group!(benches, bench_neighbor_table, bench_clustering, bench_routing_rounds);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! The experiment table generator: prints E1..E15 (see DESIGN.md §4).
+
+use std::io::Write;
+use vc_bench::experiments::registry;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut seed: u64 = 42;
+    let mut json_dir: Option<String> = None;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--seed" => {
+                i += 1;
+                seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seed needs a number");
+                    std::process::exit(2);
+                });
+            }
+            "--json" => {
+                i += 1;
+                json_dir = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--json needs a directory");
+                    std::process::exit(2);
+                }));
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag {flag}; usage: experiments [--quick] [--seed N] [--json DIR] [e1..e13 ...]");
+                std::process::exit(2);
+            }
+            id => wanted.push(id.to_lowercase()),
+        }
+        i += 1;
+    }
+
+    let selected: Vec<_> = registry()
+        .into_iter()
+        .filter(|e| wanted.is_empty() || wanted.iter().any(|w| w == e.id))
+        .collect();
+
+    if selected.is_empty() {
+        eprintln!("no experiments matched {wanted:?}; known: e1..e13");
+        std::process::exit(2);
+    }
+
+    println!(
+        "vcloud experiment harness — {} mode, seed {}\n",
+        if quick { "quick" } else { "full" },
+        seed
+    );
+
+    // Experiments are independent (each builds its own seeded scenarios), so
+    // run them concurrently and print in order as results land. Timing-
+    // sensitive experiments (E4, E5, E9, E11 measure wall-clock per op) are
+    // run alone afterwards so contention does not distort their numbers.
+    let timed = ["e4", "e5", "e9", "e11"];
+    let (concurrent, sequential): (Vec<_>, Vec<_>) =
+        selected.into_iter().partition(|e| !timed.contains(&e.id));
+
+    let results: parking_lot::Mutex<Vec<(usize, &'static str, vc_bench::Table, f64)>> =
+        parking_lot::Mutex::new(Vec::new());
+    crossbeam::thread::scope(|scope| {
+        for (order, exp) in concurrent.iter().enumerate() {
+            let results = &results;
+            let run = exp.run;
+            let id = exp.id;
+            scope.spawn(move |_| {
+                let start = std::time::Instant::now();
+                let table = run(quick, seed);
+                results.lock().push((order, id, table, start.elapsed().as_secs_f64()));
+            });
+        }
+    })
+    .expect("experiment thread panicked");
+
+    let mut done = results.into_inner();
+    done.sort_by_key(|(order, _, _, _)| *order);
+    let emit = |id: &str, table: &vc_bench::Table, secs: f64| {
+        println!("{}", table.render());
+        println!("  [{id} completed in {secs:.1}s]\n");
+        if let Some(dir) = &json_dir {
+            std::fs::create_dir_all(dir).expect("create json dir");
+            let path = format!("{dir}/{id}.json");
+            let mut f = std::fs::File::create(&path).expect("create json file");
+            writeln!(f, "{}", serde_json::to_string_pretty(&table.to_json()).expect("serialize"))
+                .expect("write json");
+        }
+    };
+    for (_, id, table, secs) in &done {
+        emit(id, table, *secs);
+    }
+    for exp in sequential {
+        let start = std::time::Instant::now();
+        let table = (exp.run)(quick, seed);
+        emit(exp.id, &table, start.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,89 @@
+//! E7 — file replication vs availability (paper §III-A).
+//!
+//! "How many copies of a shared file should be distributed in the v-cloud
+//! so that other vehicles can keep accessing this file even if many
+//! vehicles are offline at the same time?"
+
+use crate::table::{f3, pct, Table};
+use vc_cloud::prelude::*;
+use vc_sim::prelude::*;
+
+/// Runs E7.
+pub fn run(quick: bool, seed: u64) -> Table {
+    let pool = if quick { 40 } else { 80 };
+    let epochs = if quick { 200 } else { 1000 };
+    let p_offline = 0.3;
+
+    let mut table = Table::new(
+        "E7",
+        "replica count vs file availability",
+        "§III-A (file replication for availability)",
+        &[
+            "replicas",
+            "placement",
+            "measured availability",
+            "analytic 1-p^r",
+            "with repair",
+        ],
+    );
+
+    let mut rng = SimRng::seed_from(seed);
+    // Stay estimates correlate with actual offline probability: long-stayers
+    // are half as likely to churn (what stability-ranked placement exploits).
+    let hosts: Vec<ReplicaHost> = (0..pool)
+        .map(|i| ReplicaHost { id: VehicleId(i as u32), stay_estimate_s: rng.range_f64(10.0, 600.0) })
+        .collect();
+    let offline_prob = |h: &ReplicaHost| {
+        if h.stay_estimate_s > 300.0 {
+            p_offline * 0.5
+        } else {
+            p_offline * 1.5
+        }
+    };
+
+    for replicas in [1usize, 2, 3, 4, 6, 8] {
+        for strategy in [PlacementStrategy::Random, PlacementStrategy::StabilityRanked] {
+            // Measured availability without repair.
+            let mut mgr = ReplicationManager::new();
+            let content = vec![0xABu8; 64 * 1024];
+            mgr.publish(FileId(1), &content, replicas, &hosts, strategy, &mut rng);
+            let mut up = 0usize;
+            for _ in 0..epochs {
+                // Draw this epoch's offline set.
+                let online_flags: Vec<bool> =
+                    hosts.iter().map(|h| !rng.chance(offline_prob(h))).collect();
+                let online = |v: VehicleId| online_flags[v.0 as usize];
+                if mgr.is_available(FileId(1), &online) {
+                    up += 1;
+                }
+            }
+            // Measured availability with periodic repair (every 10 epochs).
+            let mut mgr2 = ReplicationManager::new();
+            mgr2.publish(FileId(2), &content, replicas, &hosts, strategy, &mut rng);
+            let mut up_repair = 0usize;
+            for e in 0..epochs {
+                let online_flags: Vec<bool> =
+                    hosts.iter().map(|h| !rng.chance(offline_prob(h))).collect();
+                let online = |v: VehicleId| online_flags[v.0 as usize];
+                if mgr2.is_available(FileId(2), &online) {
+                    up_repair += 1;
+                }
+                if e % 10 == 9 {
+                    mgr2.repair(FileId(2), replicas, &online, &hosts, strategy, &mut rng);
+                }
+            }
+            table.row(vec![
+                replicas.to_string(),
+                match strategy {
+                    PlacementStrategy::Random => "random".to_owned(),
+                    PlacementStrategy::StabilityRanked => "stability".to_owned(),
+                },
+                pct(up as f64 / epochs as f64),
+                f3(analytic_availability(replicas, p_offline)),
+                pct(up_repair as f64 / epochs as f64),
+            ]);
+        }
+    }
+    table.note("expected shape: availability saturates toward 1 as replicas grow (diminishing returns past r≈4 at p=0.3); stability-ranked placement beats random at equal r; repair closes most of the remaining gap");
+    table
+}

@@ -1,0 +1,62 @@
+//! The per-experiment modules E1..E15 (see DESIGN.md §4 for the index).
+
+pub mod e1;
+pub mod e10;
+pub mod e11;
+pub mod e12;
+pub mod e13;
+pub mod e14;
+pub mod e15;
+pub mod e2;
+pub mod e3;
+pub mod e4;
+pub mod e5;
+pub mod e6;
+pub mod e7;
+pub mod e8;
+pub mod e9;
+
+use crate::table::Table;
+
+/// An experiment's id and runner.
+pub struct Experiment {
+    /// "e1" … "e10".
+    pub id: &'static str,
+    /// Runner: `(quick, seed) -> table`.
+    pub run: fn(bool, u64) -> Table,
+}
+
+/// The full experiment registry, in order.
+pub fn registry() -> Vec<Experiment> {
+    vec![
+        Experiment { id: "e1", run: e1::run },
+        Experiment { id: "e2", run: e2::run },
+        Experiment { id: "e3", run: e3::run },
+        Experiment { id: "e4", run: e4::run },
+        Experiment { id: "e5", run: e5::run },
+        Experiment { id: "e6", run: e6::run },
+        Experiment { id: "e7", run: e7::run },
+        Experiment { id: "e8", run: e8::run },
+        Experiment { id: "e9", run: e9::run },
+        Experiment { id: "e10", run: e10::run },
+        Experiment { id: "e11", run: e11::run },
+        Experiment { id: "e12", run: e12::run },
+        Experiment { id: "e13", run: e13::run },
+        Experiment { id: "e14", run: e14::run },
+        Experiment { id: "e15", run: e15::run },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete_and_ordered() {
+        let ids: Vec<&str> = registry().iter().map(|e| e.id).collect();
+        assert_eq!(
+            ids,
+            vec!["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15"]
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! # vc-bench — the experiment harness
+//!
+//! Regenerates every table/figure-equivalent defined in DESIGN.md §4 from
+//! the paper's qualitative claims. Run the binary:
+//!
+//! ```text
+//! cargo run -p vc-bench --release --bin experiments            # all of E1..E15
+//! cargo run -p vc-bench --release --bin experiments -- --quick # smaller sweeps
+//! cargo run -p vc-bench --release --bin experiments -- e4 e8   # a subset
+//! cargo run -p vc-bench --release --bin experiments -- --json results/
+//! ```
+//!
+//! Criterion micro-benches for the substrate primitives live under
+//! `benches/`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::registry;
+pub use table::Table;

@@ -1,0 +1,338 @@
+//! Jobs: splitting work into tasks and aggregating results (paper §III-A —
+//! "the design of resource sharing, task allocation, **result aggregation**,
+//! and dissemination").
+//!
+//! A [`Job`] is a batch of tasks whose results combine through an
+//! [`Aggregation`]; the broker tracks per-task results as they arrive from
+//! lender hosts, exposes progress, flags stragglers for re-dispatch, and
+//! produces the final aggregate (with a Merkle commitment so the result set
+//! is verifiable after dissemination).
+
+use crate::task::{TaskId, TaskSpec};
+use std::collections::BTreeMap;
+use vc_crypto::merkle::MerkleTree;
+use vc_crypto::sha256::Digest;
+use vc_sim::time::SimTime;
+
+/// Identifier of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u64);
+
+/// How per-task results combine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregation {
+    /// Results are numeric (8-byte big-endian f64) and summed — sensor
+    /// averaging, counting.
+    Sum,
+    /// Results are concatenated in task order — map output assembly.
+    Concat,
+    /// Only a Merkle commitment over results is produced — dissemination by
+    /// reference (receivers fetch chunks and verify against the root).
+    Commitment,
+}
+
+/// Final output of a completed job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobResult {
+    /// Sum of numeric results.
+    Sum(f64),
+    /// Ordered concatenation.
+    Concat(Vec<u8>),
+    /// Merkle root over the ordered results.
+    Commitment(Digest),
+}
+
+/// One job's state at the broker.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// This job's id.
+    pub id: JobId,
+    /// The task ids composing it, in aggregation order.
+    pub tasks: Vec<TaskId>,
+    /// The combiner.
+    pub aggregation: Aggregation,
+    /// Submission time (for straggler age).
+    pub submitted_at: SimTime,
+    results: BTreeMap<TaskId, Vec<u8>>,
+}
+
+impl Job {
+    /// Fraction of tasks with results, `[0, 1]`.
+    pub fn progress(&self) -> f64 {
+        if self.tasks.is_empty() {
+            return 1.0;
+        }
+        self.results.len() as f64 / self.tasks.len() as f64
+    }
+
+    /// `true` once every task has a result.
+    pub fn is_complete(&self) -> bool {
+        self.results.len() == self.tasks.len()
+    }
+
+    /// Task ids still missing results (straggler candidates, in order).
+    pub fn missing(&self) -> Vec<TaskId> {
+        self.tasks.iter().copied().filter(|t| !self.results.contains_key(t)).collect()
+    }
+}
+
+/// The broker-side job manager.
+#[derive(Debug, Default)]
+pub struct JobManager {
+    jobs: BTreeMap<JobId, Job>,
+    next_job: u64,
+    next_task: u64,
+}
+
+/// Errors from result recording / aggregation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobError {
+    /// Unknown job id.
+    UnknownJob,
+    /// The task does not belong to the job.
+    UnknownTask,
+    /// A result for this task was already recorded (and differs).
+    ConflictingResult,
+    /// The job is not complete yet.
+    Incomplete,
+    /// A numeric aggregation met a result that is not 8 bytes.
+    MalformedNumeric,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            JobError::UnknownJob => "unknown job",
+            JobError::UnknownTask => "task not part of job",
+            JobError::ConflictingResult => "conflicting result for task",
+            JobError::Incomplete => "job incomplete",
+            JobError::MalformedNumeric => "numeric result must be 8 bytes",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for JobError {}
+
+impl JobManager {
+    /// Creates an empty manager.
+    pub fn new() -> Self {
+        JobManager::default()
+    }
+
+    /// Creates a job of `n_tasks` tasks of `work_gflop` each; returns the
+    /// job id and the task specs to hand to the scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_tasks` is zero.
+    pub fn create(
+        &mut self,
+        n_tasks: usize,
+        work_gflop: f64,
+        aggregation: Aggregation,
+        now: SimTime,
+    ) -> (JobId, Vec<TaskSpec>) {
+        assert!(n_tasks > 0, "a job needs at least one task");
+        let id = JobId(self.next_job);
+        self.next_job += 1;
+        let mut tasks = Vec::with_capacity(n_tasks);
+        let mut specs = Vec::with_capacity(n_tasks);
+        for _ in 0..n_tasks {
+            let tid = TaskId(self.next_task);
+            self.next_task += 1;
+            tasks.push(tid);
+            specs.push(TaskSpec::compute(tid, work_gflop));
+        }
+        self.jobs.insert(
+            id,
+            Job { id, tasks, aggregation, submitted_at: now, results: BTreeMap::new() },
+        );
+        (id, specs)
+    }
+
+    /// The job record.
+    pub fn job(&self, id: JobId) -> Option<&Job> {
+        self.jobs.get(&id)
+    }
+
+    /// Records a task's result bytes. Duplicate identical results are
+    /// idempotent; conflicting ones are rejected (and should trigger the
+    /// verifiable-execution path).
+    ///
+    /// # Errors
+    ///
+    /// See [`JobError`].
+    pub fn record_result(&mut self, job: JobId, task: TaskId, result: &[u8]) -> Result<(), JobError> {
+        let j = self.jobs.get_mut(&job).ok_or(JobError::UnknownJob)?;
+        if !j.tasks.contains(&task) {
+            return Err(JobError::UnknownTask);
+        }
+        match j.results.get(&task) {
+            Some(existing) if existing.as_slice() == result => Ok(()),
+            Some(_) => Err(JobError::ConflictingResult),
+            None => {
+                j.results.insert(task, result.to_vec());
+                Ok(())
+            }
+        }
+    }
+
+    /// Aggregates a complete job.
+    ///
+    /// # Errors
+    ///
+    /// [`JobError::Incomplete`] before all results arrive;
+    /// [`JobError::MalformedNumeric`] for bad Sum inputs.
+    pub fn aggregate(&self, job: JobId) -> Result<JobResult, JobError> {
+        let j = self.jobs.get(&job).ok_or(JobError::UnknownJob)?;
+        if !j.is_complete() {
+            return Err(JobError::Incomplete);
+        }
+        let ordered: Vec<&Vec<u8>> =
+            j.tasks.iter().map(|t| j.results.get(t).expect("complete")).collect();
+        match j.aggregation {
+            Aggregation::Sum => {
+                let mut sum = 0.0f64;
+                for bytes in ordered {
+                    if bytes.len() != 8 {
+                        return Err(JobError::MalformedNumeric);
+                    }
+                    let mut arr = [0u8; 8];
+                    arr.copy_from_slice(bytes);
+                    let v = f64::from_be_bytes(arr);
+                    if !v.is_finite() {
+                        return Err(JobError::MalformedNumeric);
+                    }
+                    sum += v;
+                }
+                Ok(JobResult::Sum(sum))
+            }
+            Aggregation::Concat => {
+                let mut out = Vec::new();
+                for bytes in ordered {
+                    out.extend_from_slice(bytes);
+                }
+                Ok(JobResult::Concat(out))
+            }
+            Aggregation::Commitment => {
+                let tree = MerkleTree::from_leaves(&ordered);
+                Ok(JobResult::Commitment(tree.root()))
+            }
+        }
+    }
+
+    /// Number of jobs tracked.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// `true` when no jobs exist.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_and_complete_sum_job() {
+        let mut mgr = JobManager::new();
+        let (job, specs) = mgr.create(4, 50.0, Aggregation::Sum, SimTime::ZERO);
+        assert_eq!(specs.len(), 4);
+        assert_eq!(mgr.job(job).unwrap().progress(), 0.0);
+        for (i, spec) in specs.iter().enumerate() {
+            let value = (i as f64 + 1.0).to_be_bytes();
+            mgr.record_result(job, spec.id, &value).unwrap();
+        }
+        assert!(mgr.job(job).unwrap().is_complete());
+        assert_eq!(mgr.aggregate(job).unwrap(), JobResult::Sum(10.0));
+    }
+
+    #[test]
+    fn concat_preserves_task_order() {
+        let mut mgr = JobManager::new();
+        let (job, specs) = mgr.create(3, 10.0, Aggregation::Concat, SimTime::ZERO);
+        // Record out of order.
+        mgr.record_result(job, specs[2].id, b"C").unwrap();
+        mgr.record_result(job, specs[0].id, b"A").unwrap();
+        mgr.record_result(job, specs[1].id, b"B").unwrap();
+        assert_eq!(mgr.aggregate(job).unwrap(), JobResult::Concat(b"ABC".to_vec()));
+    }
+
+    #[test]
+    fn commitment_is_order_sensitive_and_stable() {
+        let mut mgr = JobManager::new();
+        let (j1, s1) = mgr.create(2, 10.0, Aggregation::Commitment, SimTime::ZERO);
+        mgr.record_result(j1, s1[0].id, b"x").unwrap();
+        mgr.record_result(j1, s1[1].id, b"y").unwrap();
+        let (j2, s2) = mgr.create(2, 10.0, Aggregation::Commitment, SimTime::ZERO);
+        mgr.record_result(j2, s2[0].id, b"y").unwrap();
+        mgr.record_result(j2, s2[1].id, b"x").unwrap();
+        let r1 = mgr.aggregate(j1).unwrap();
+        let r2 = mgr.aggregate(j2).unwrap();
+        assert_ne!(r1, r2, "swapped chunk order changes the commitment");
+        assert_eq!(mgr.aggregate(j1).unwrap(), r1, "stable");
+    }
+
+    #[test]
+    fn incomplete_jobs_do_not_aggregate() {
+        let mut mgr = JobManager::new();
+        let (job, specs) = mgr.create(2, 10.0, Aggregation::Concat, SimTime::ZERO);
+        mgr.record_result(job, specs[0].id, b"A").unwrap();
+        assert_eq!(mgr.aggregate(job), Err(JobError::Incomplete));
+        assert_eq!(mgr.job(job).unwrap().missing(), vec![specs[1].id]);
+        assert!((mgr.job(job).unwrap().progress() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conflicting_results_rejected_idempotent_accepted() {
+        let mut mgr = JobManager::new();
+        let (job, specs) = mgr.create(1, 10.0, Aggregation::Concat, SimTime::ZERO);
+        mgr.record_result(job, specs[0].id, b"X").unwrap();
+        assert_eq!(mgr.record_result(job, specs[0].id, b"X"), Ok(()), "idempotent");
+        assert_eq!(
+            mgr.record_result(job, specs[0].id, b"Y"),
+            Err(JobError::ConflictingResult)
+        );
+    }
+
+    #[test]
+    fn wrong_ids_rejected() {
+        let mut mgr = JobManager::new();
+        let (job, _) = mgr.create(1, 10.0, Aggregation::Sum, SimTime::ZERO);
+        assert_eq!(mgr.record_result(JobId(99), TaskId(0), b""), Err(JobError::UnknownJob));
+        assert_eq!(mgr.record_result(job, TaskId(999), b""), Err(JobError::UnknownTask));
+        assert_eq!(mgr.aggregate(JobId(99)), Err(JobError::UnknownJob));
+    }
+
+    #[test]
+    fn malformed_numeric_rejected() {
+        let mut mgr = JobManager::new();
+        let (job, specs) = mgr.create(1, 10.0, Aggregation::Sum, SimTime::ZERO);
+        mgr.record_result(job, specs[0].id, b"short").unwrap();
+        assert_eq!(mgr.aggregate(job), Err(JobError::MalformedNumeric));
+        let (job2, specs2) = mgr.create(1, 10.0, Aggregation::Sum, SimTime::ZERO);
+        mgr.record_result(job2, specs2[0].id, &f64::NAN.to_be_bytes()).unwrap();
+        assert_eq!(mgr.aggregate(job2), Err(JobError::MalformedNumeric));
+    }
+
+    #[test]
+    fn task_ids_are_globally_unique_across_jobs() {
+        let mut mgr = JobManager::new();
+        let (_, s1) = mgr.create(3, 10.0, Aggregation::Sum, SimTime::ZERO);
+        let (_, s2) = mgr.create(3, 10.0, Aggregation::Sum, SimTime::ZERO);
+        let mut all: Vec<u64> = s1.iter().chain(&s2).map(|s| s.id.0).collect();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), 6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_job_rejected() {
+        JobManager::new().create(0, 10.0, Aggregation::Sum, SimTime::ZERO);
+    }
+}

@@ -1,0 +1,207 @@
+//! Task offloading decisions: on-board vs vehicular cloud vs cellular/
+//! central cloud (paper §I).
+//!
+//! The paper's motivating claim: "conventional centralized approaches …
+//! may not be able to quickly collect real-time information and disseminate
+//! decisions due to jamming or inaccessibility of the Internet/cellular
+//! network at the scene", while the v-cloud has "sufficient resources …
+//! even during unexpected events". This module gives each vehicle the
+//! latency model to pick a target per task — and experiment E13 sweeps cell
+//! congestion to show the crossover.
+
+use vc_sim::radio::{Cellular, Channel};
+use vc_sim::rng::SimRng;
+
+/// Where a task can run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OffloadTarget {
+    /// The vehicle's own on-board unit.
+    Local,
+    /// A lender host in the vehicular cloud (1 V2V hop away).
+    VehicularCloud,
+    /// The central cloud over the cellular uplink.
+    Cellular,
+}
+
+impl std::fmt::Display for OffloadTarget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            OffloadTarget::Local => "local",
+            OffloadTarget::VehicularCloud => "v-cloud",
+            OffloadTarget::Cellular => "cellular",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Everything the decision needs to know about the moment.
+#[derive(Debug, Clone)]
+pub struct OffloadContext<'a> {
+    /// Own on-board compute, GFLOPS.
+    pub local_cpu_gflops: f64,
+    /// Best lender host's compute in the current v-cloud, GFLOPS (None when
+    /// no cloud is reachable).
+    pub vcloud_cpu_gflops: Option<f64>,
+    /// Contending transmitters around us (drives V2V latency).
+    pub v2v_contenders: usize,
+    /// The V2V channel.
+    pub channel: &'a Channel,
+    /// Cellular state.
+    pub cellular: &'a Cellular,
+    /// Concurrent users on the cell.
+    pub cell_users: usize,
+    /// The central datacenter's effective compute, GFLOPS (large).
+    pub datacenter_cpu_gflops: f64,
+}
+
+/// A task's offload-relevant shape.
+#[derive(Debug, Clone, Copy)]
+pub struct OffloadTask {
+    /// Compute demand, GFLOP.
+    pub work_gflop: f64,
+    /// Input bytes to ship.
+    pub input_bytes: usize,
+    /// Output bytes to return.
+    pub output_bytes: usize,
+}
+
+/// Expected completion latency of `task` on `target`, seconds. `None` when
+/// the target is unreachable.
+pub fn expected_latency(
+    task: &OffloadTask,
+    target: OffloadTarget,
+    ctx: &OffloadContext<'_>,
+    rng: &mut SimRng,
+) -> Option<f64> {
+    match target {
+        OffloadTarget::Local => Some(task.work_gflop / ctx.local_cpu_gflops.max(1e-9)),
+        OffloadTarget::VehicularCloud => {
+            let host = ctx.vcloud_cpu_gflops?;
+            let up = ctx.channel.latency(ctx.v2v_contenders, task.input_bytes, rng).as_secs_f64();
+            let down =
+                ctx.channel.latency(ctx.v2v_contenders, task.output_bytes, rng).as_secs_f64();
+            Some(up + task.work_gflop / host.max(1e-9) + down)
+        }
+        OffloadTarget::Cellular => {
+            let rtt = ctx.cellular.rtt(ctx.cell_users, rng)?.as_secs_f64();
+            // Serialization over the cell (10 Mb/s effective uplink).
+            let xfer = (task.input_bytes + task.output_bytes) as f64 * 8.0 / 10_000_000.0;
+            Some(rtt + xfer + task.work_gflop / ctx.datacenter_cpu_gflops.max(1e-9))
+        }
+    }
+}
+
+/// Picks the target with the lowest expected latency (ties break toward
+/// Local, then VehicularCloud — no network beats a network at equal cost).
+pub fn decide(task: &OffloadTask, ctx: &OffloadContext<'_>, rng: &mut SimRng) -> OffloadTarget {
+    let candidates = [OffloadTarget::Local, OffloadTarget::VehicularCloud, OffloadTarget::Cellular];
+    let mut best = OffloadTarget::Local;
+    let mut best_latency = f64::INFINITY;
+    for target in candidates {
+        if let Some(latency) = expected_latency(task, target, ctx, rng) {
+            if latency < best_latency - 1e-12 {
+                best_latency = latency;
+                best = target;
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx<'a>(channel: &'a Channel, cellular: &'a Cellular) -> OffloadContext<'a> {
+        OffloadContext {
+            local_cpu_gflops: 20.0,
+            vcloud_cpu_gflops: Some(200.0),
+            v2v_contenders: 5,
+            channel,
+            cellular,
+            cell_users: 10,
+            datacenter_cpu_gflops: 100_000.0,
+        }
+    }
+
+    fn task(work: f64) -> OffloadTask {
+        OffloadTask { work_gflop: work, input_bytes: 100_000, output_bytes: 10_000 }
+    }
+
+    #[test]
+    fn tiny_tasks_stay_local() {
+        let channel = Channel::dsrc();
+        let cellular = Cellular::healthy();
+        let mut rng = SimRng::seed_from(1);
+        // 1 GFLOP: 0.05 s locally; any network path costs more than that in
+        // transfer alone (100 KB at 6 Mb/s ≈ 0.13 s).
+        assert_eq!(decide(&task(1.0), &ctx(&channel, &cellular), &mut rng), OffloadTarget::Local);
+    }
+
+    #[test]
+    fn heavy_tasks_offload() {
+        let channel = Channel::dsrc();
+        let cellular = Cellular::healthy();
+        let mut rng = SimRng::seed_from(2);
+        // 2000 GFLOP: 100 s locally, 10 s on a 200-GFLOPS lender, ~0.2 s in
+        // the datacenter — cellular wins while the cell is healthy.
+        let choice = decide(&task(2000.0), &ctx(&channel, &cellular), &mut rng);
+        assert_eq!(choice, OffloadTarget::Cellular);
+    }
+
+    #[test]
+    fn jammed_cell_pushes_to_vcloud() {
+        let channel = Channel::dsrc();
+        let cellular = Cellular::unavailable();
+        let mut rng = SimRng::seed_from(3);
+        let choice = decide(&task(2000.0), &ctx(&channel, &cellular), &mut rng);
+        assert_eq!(choice, OffloadTarget::VehicularCloud);
+        assert_eq!(
+            expected_latency(&task(1.0), OffloadTarget::Cellular, &ctx(&channel, &cellular), &mut rng),
+            None
+        );
+    }
+
+    #[test]
+    fn congested_cell_pushes_to_vcloud() {
+        let channel = Channel::dsrc();
+        let cellular = Cellular::healthy();
+        let mut rng = SimRng::seed_from(4);
+        let mut c = ctx(&channel, &cellular);
+        c.cell_users = 20_000; // pathological event-scale congestion (~40 s mean RTT)
+        // Average over draws: the congested cell should lose most decisions.
+        let mut vcloud_wins = 0;
+        for _ in 0..100 {
+            if decide(&task(2000.0), &c, &mut rng) == OffloadTarget::VehicularCloud {
+                vcloud_wins += 1;
+            }
+        }
+        // The sampled cellular RTT is exponential (mean ~40 s vs ~10 s on the
+        // v-cloud), so the cell still gets lucky occasionally.
+        assert!(vcloud_wins > 65, "v-cloud won only {vcloud_wins}/100 under congestion");
+    }
+
+    #[test]
+    fn no_vcloud_falls_back() {
+        let channel = Channel::dsrc();
+        let cellular = Cellular::unavailable();
+        let mut rng = SimRng::seed_from(5);
+        let mut c = ctx(&channel, &cellular);
+        c.vcloud_cpu_gflops = None;
+        assert_eq!(decide(&task(2000.0), &c, &mut rng), OffloadTarget::Local);
+    }
+
+    #[test]
+    fn latencies_are_positive_and_ordered_by_work() {
+        let channel = Channel::dsrc();
+        let cellular = Cellular::healthy();
+        let mut rng = SimRng::seed_from(6);
+        let c = ctx(&channel, &cellular);
+        for target in [OffloadTarget::Local, OffloadTarget::VehicularCloud, OffloadTarget::Cellular] {
+            let small = expected_latency(&task(10.0), target, &c, &mut rng).unwrap();
+            let big = expected_latency(&task(10_000.0), target, &c, &mut rng).unwrap();
+            assert!(small > 0.0);
+            assert!(big > small, "{target}: more work must take longer");
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! File replication for availability (paper §III-A).
+//!
+//! "An important issue is determining how many copies of a shared file
+//! should be distributed in v-cloud so that other vehicles can keep
+//! accessing this file even if many vehicles are offline at the same time."
+//! Files are chunked under a Merkle root (integrity survives any host), and
+//! replicas are placed either randomly or on stability-ranked hosts.
+//! Experiment E7 sweeps the replica count against churn.
+
+use std::collections::BTreeMap;
+use vc_crypto::merkle::MerkleTree;
+use vc_crypto::sha256::Digest;
+use vc_sim::node::VehicleId;
+use vc_sim::rng::SimRng;
+
+/// Identifier of a shared file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FileId(pub u64);
+
+/// How replica hosts are chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementStrategy {
+    /// Uniformly random among candidates.
+    Random,
+    /// Prefer hosts with the longest expected stay.
+    StabilityRanked,
+}
+
+/// A candidate replica host.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplicaHost {
+    /// The vehicle.
+    pub id: VehicleId,
+    /// Expected remaining stay, seconds.
+    pub stay_estimate_s: f64,
+}
+
+/// Metadata for one replicated file.
+#[derive(Debug, Clone)]
+pub struct ReplicatedFile {
+    /// The file id.
+    pub id: FileId,
+    /// Merkle root over the chunks — any holder can prove chunk integrity.
+    pub root: Digest,
+    /// Number of chunks.
+    pub chunk_count: usize,
+    /// Current replica holders.
+    pub holders: Vec<VehicleId>,
+}
+
+/// The replication manager.
+#[derive(Debug, Default)]
+pub struct ReplicationManager {
+    files: BTreeMap<FileId, ReplicatedFile>,
+}
+
+impl ReplicationManager {
+    /// Creates an empty manager.
+    pub fn new() -> Self {
+        ReplicationManager::default()
+    }
+
+    /// Publishes a file: chunks it, builds the Merkle commitment, and places
+    /// `replicas` copies among `candidates` per the strategy.
+    ///
+    /// Returns the file record. Fewer holders than requested are placed when
+    /// candidates run short.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `content` is empty or `replicas` is zero.
+    pub fn publish(
+        &mut self,
+        id: FileId,
+        content: &[u8],
+        replicas: usize,
+        candidates: &[ReplicaHost],
+        strategy: PlacementStrategy,
+        rng: &mut SimRng,
+    ) -> &ReplicatedFile {
+        assert!(!content.is_empty(), "cannot publish an empty file");
+        assert!(replicas > 0, "need at least one replica");
+        const CHUNK: usize = 4096;
+        let chunks: Vec<&[u8]> = content.chunks(CHUNK).collect();
+        let tree = MerkleTree::from_leaves(&chunks);
+        let holders = place(replicas, candidates, strategy, rng);
+        let file = ReplicatedFile {
+            id,
+            root: tree.root(),
+            chunk_count: chunks.len(),
+            holders,
+        };
+        self.files.insert(id, file);
+        self.files.get(&id).expect("just inserted")
+    }
+
+    /// The record for a file.
+    pub fn file(&self, id: FileId) -> Option<&ReplicatedFile> {
+        self.files.get(&id)
+    }
+
+    /// Whether the file is currently readable: at least one holder online.
+    pub fn is_available(&self, id: FileId, online: &dyn Fn(VehicleId) -> bool) -> bool {
+        self.files
+            .get(&id)
+            .is_some_and(|f| f.holders.iter().any(|&h| online(h)))
+    }
+
+    /// Re-replicates a file back up to `target` holders, choosing new hosts
+    /// among `candidates` that are not already holders. Returns how many new
+    /// replicas were created.
+    pub fn repair(
+        &mut self,
+        id: FileId,
+        target: usize,
+        online: &dyn Fn(VehicleId) -> bool,
+        candidates: &[ReplicaHost],
+        strategy: PlacementStrategy,
+        rng: &mut SimRng,
+    ) -> usize {
+        let Some(file) = self.files.get_mut(&id) else {
+            return 0;
+        };
+        // Drop offline holders from the record (they may come back, but the
+        // conservative manager treats them as lost).
+        file.holders.retain(|&h| online(h));
+        if file.holders.len() >= target {
+            return 0;
+        }
+        let fresh: Vec<ReplicaHost> = candidates
+            .iter()
+            .filter(|c| online(c.id) && !file.holders.contains(&c.id))
+            .copied()
+            .collect();
+        let add = place(target - file.holders.len(), &fresh, strategy, rng);
+        let added = add.len();
+        file.holders.extend(add);
+        added
+    }
+
+    /// Number of files tracked.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// `true` when no file is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+}
+
+fn place(
+    replicas: usize,
+    candidates: &[ReplicaHost],
+    strategy: PlacementStrategy,
+    rng: &mut SimRng,
+) -> Vec<VehicleId> {
+    match strategy {
+        PlacementStrategy::Random => {
+            let picks = rng.sample_indices(candidates.len(), replicas);
+            picks.into_iter().map(|i| candidates[i].id).collect()
+        }
+        PlacementStrategy::StabilityRanked => {
+            let mut sorted: Vec<&ReplicaHost> = candidates.iter().collect();
+            sorted.sort_by(|a, b| {
+                b.stay_estimate_s
+                    .partial_cmp(&a.stay_estimate_s)
+                    .expect("finite stays")
+                    .then(a.id.cmp(&b.id))
+            });
+            sorted.into_iter().take(replicas).map(|h| h.id).collect()
+        }
+    }
+}
+
+/// Analytic availability of a file with `replicas` independent holders each
+/// offline with probability `p_offline`: `1 - p^r`. The baseline E7 plots
+/// simulated availability against.
+pub fn analytic_availability(replicas: usize, p_offline: f64) -> f64 {
+    1.0 - p_offline.clamp(0.0, 1.0).powi(replicas as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hosts(n: usize) -> Vec<ReplicaHost> {
+        (0..n)
+            .map(|i| ReplicaHost { id: VehicleId(i as u32), stay_estimate_s: (i * 10) as f64 })
+            .collect()
+    }
+
+    #[test]
+    fn publish_places_replicas() {
+        let mut mgr = ReplicationManager::new();
+        let mut rng = SimRng::seed_from(1);
+        let f = mgr.publish(FileId(1), &[7u8; 10_000], 3, &hosts(10), PlacementStrategy::Random, &mut rng);
+        assert_eq!(f.holders.len(), 3);
+        assert_eq!(f.chunk_count, 3, "10 KB in 4 KB chunks");
+        // Distinct holders.
+        let mut hs = f.holders.clone();
+        hs.sort();
+        hs.dedup();
+        assert_eq!(hs.len(), 3);
+    }
+
+    #[test]
+    fn stability_ranked_picks_longest_stayers() {
+        let mut mgr = ReplicationManager::new();
+        let mut rng = SimRng::seed_from(2);
+        let f = mgr.publish(
+            FileId(1),
+            b"data",
+            2,
+            &hosts(10),
+            PlacementStrategy::StabilityRanked,
+            &mut rng,
+        );
+        // Hosts 9 and 8 have the longest stays.
+        assert!(f.holders.contains(&VehicleId(9)));
+        assert!(f.holders.contains(&VehicleId(8)));
+    }
+
+    #[test]
+    fn availability_follows_holders() {
+        let mut mgr = ReplicationManager::new();
+        let mut rng = SimRng::seed_from(3);
+        mgr.publish(FileId(1), b"data", 2, &hosts(4), PlacementStrategy::StabilityRanked, &mut rng);
+        // Holders are 3 and 2.
+        assert!(mgr.is_available(FileId(1), &|v| v == VehicleId(3)));
+        assert!(!mgr.is_available(FileId(1), &|_| false));
+        assert!(!mgr.is_available(FileId(2), &|_| true), "unknown file is unavailable");
+    }
+
+    #[test]
+    fn repair_restores_replication() {
+        let mut mgr = ReplicationManager::new();
+        let mut rng = SimRng::seed_from(4);
+        mgr.publish(FileId(1), b"data", 3, &hosts(3), PlacementStrategy::StabilityRanked, &mut rng);
+        // Hosts 0..3 hold it; now 0 and 1 go offline, new candidates 5..10 appear.
+        let online = |v: VehicleId| v.0 >= 2;
+        let new_candidates = hosts(10);
+        let added = mgr.repair(FileId(1), 3, &online, &new_candidates, PlacementStrategy::StabilityRanked, &mut rng);
+        assert_eq!(added, 2);
+        let f = mgr.file(FileId(1)).unwrap();
+        assert_eq!(f.holders.len(), 3);
+        assert!(f.holders.iter().all(|&h| online(h)));
+    }
+
+    #[test]
+    fn repair_noop_when_healthy() {
+        let mut mgr = ReplicationManager::new();
+        let mut rng = SimRng::seed_from(5);
+        mgr.publish(FileId(1), b"data", 2, &hosts(5), PlacementStrategy::Random, &mut rng);
+        let added = mgr.repair(FileId(1), 2, &|_| true, &hosts(5), PlacementStrategy::Random, &mut rng);
+        assert_eq!(added, 0);
+        assert_eq!(mgr.repair(FileId(9), 2, &|_| true, &hosts(5), PlacementStrategy::Random, &mut rng), 0);
+    }
+
+    #[test]
+    fn fewer_candidates_than_replicas() {
+        let mut mgr = ReplicationManager::new();
+        let mut rng = SimRng::seed_from(6);
+        let f = mgr.publish(FileId(1), b"data", 5, &hosts(2), PlacementStrategy::Random, &mut rng);
+        assert_eq!(f.holders.len(), 2, "placed what was possible");
+    }
+
+    #[test]
+    fn roots_commit_to_content() {
+        let mut mgr = ReplicationManager::new();
+        let mut rng = SimRng::seed_from(7);
+        let r1 = mgr
+            .publish(FileId(1), b"content-a", 1, &hosts(3), PlacementStrategy::Random, &mut rng)
+            .root;
+        let r2 = mgr
+            .publish(FileId(2), b"content-b", 1, &hosts(3), PlacementStrategy::Random, &mut rng)
+            .root;
+        assert_ne!(r1, r2);
+    }
+
+    #[test]
+    fn analytic_curve_shape() {
+        assert_eq!(analytic_availability(1, 0.0), 1.0);
+        assert!((analytic_availability(1, 0.3) - 0.7).abs() < 1e-12);
+        assert!((analytic_availability(3, 0.3) - (1.0 - 0.027)).abs() < 1e-12);
+        // More replicas never hurt.
+        for r in 1..10 {
+            assert!(analytic_availability(r + 1, 0.4) >= analytic_availability(r, 0.4));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_file_rejected() {
+        let mut mgr = ReplicationManager::new();
+        let mut rng = SimRng::seed_from(8);
+        mgr.publish(FileId(1), b"", 1, &hosts(1), PlacementStrategy::Random, &mut rng);
+    }
+}

@@ -1,0 +1,209 @@
+//! Duration-of-stay estimation (paper §III-A).
+//!
+//! "When allocating tasks for a vehicle in a group, the problem is how to
+//! estimate the duration of stay of this vehicle. If under-estimated, the
+//! computing resources will be under-utilized. If over-estimated, the
+//! vehicle may not be able to finish the task before leaving the group."
+//! Experiment E6 sweeps these estimators against ground truth.
+
+use vc_sim::geom::Point;
+
+/// What the estimator sees about a candidate host.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostDynamics {
+    /// Host position.
+    pub pos: Point,
+    /// Host velocity, m/s.
+    pub vel: Point,
+    /// Center of the group/coverage the host must remain inside.
+    pub group_center: Point,
+    /// Radius of that group/coverage, meters.
+    pub group_radius: f64,
+    /// `true` for parked hosts (stationary clouds).
+    pub parked: bool,
+}
+
+/// A duration-of-stay estimator: how many more seconds will this host remain
+/// reachable by the cloud?
+pub trait StayEstimator {
+    /// Short name for tables.
+    fn name(&self) -> &'static str;
+
+    /// Estimated remaining stay, seconds (may be `f64::INFINITY` for parked
+    /// hosts).
+    fn estimate(&self, host: &HostDynamics) -> f64;
+}
+
+/// Assumes every mobile host leaves almost immediately — maximally cautious,
+/// so long tasks never get placed on moving hosts (under-utilization arm of
+/// the paper's trade-off).
+#[derive(Debug, Default)]
+pub struct Pessimistic;
+
+impl StayEstimator for Pessimistic {
+    fn name(&self) -> &'static str {
+        "pessimistic"
+    }
+
+    fn estimate(&self, host: &HostDynamics) -> f64 {
+        if host.parked {
+            f64::INFINITY
+        } else {
+            30.0
+        }
+    }
+}
+
+/// Assumes every host stays a long time — tasks get placed anywhere and die
+/// with departing hosts (over-estimation arm).
+#[derive(Debug, Default)]
+pub struct Optimistic;
+
+impl StayEstimator for Optimistic {
+    fn name(&self) -> &'static str {
+        "optimistic"
+    }
+
+    fn estimate(&self, host: &HostDynamics) -> f64 {
+        if host.parked {
+            f64::INFINITY
+        } else {
+            600.0
+        }
+    }
+}
+
+/// Kinematic prediction: time until the host's straight-line trajectory
+/// exits the group disk. The informed middle ground.
+#[derive(Debug, Default)]
+pub struct Kinematic;
+
+impl StayEstimator for Kinematic {
+    fn name(&self) -> &'static str {
+        "kinematic"
+    }
+
+    fn estimate(&self, host: &HostDynamics) -> f64 {
+        if host.parked {
+            return f64::INFINITY;
+        }
+        time_to_exit_disk(host.pos, host.vel, host.group_center, host.group_radius)
+    }
+}
+
+/// Time until a point moving at constant velocity exits a disk, seconds.
+/// Returns a large-but-finite horizon for (near-)stationary points inside,
+/// and 0 for points already outside.
+pub fn time_to_exit_disk(pos: Point, vel: Point, center: Point, radius: f64) -> f64 {
+    const HORIZON_S: f64 = 3_600.0;
+    let rel = pos - center;
+    if rel.norm() >= radius {
+        return 0.0;
+    }
+    let speed_sq = vel.dot(vel);
+    if speed_sq < 1e-9 {
+        return HORIZON_S;
+    }
+    // Solve |rel + t*vel|^2 = radius^2 for the positive root.
+    let b = rel.dot(vel);
+    let c = rel.dot(rel) - radius * radius;
+    let disc = b * b - speed_sq * c;
+    if disc <= 0.0 {
+        return HORIZON_S;
+    }
+    let t = (-b + disc.sqrt()) / speed_sq;
+    t.clamp(0.0, HORIZON_S)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn host(pos: (f64, f64), vel: (f64, f64)) -> HostDynamics {
+        HostDynamics {
+            pos: Point::new(pos.0, pos.1),
+            vel: Point::new(vel.0, vel.1),
+            group_center: Point::new(0.0, 0.0),
+            group_radius: 100.0,
+            parked: false,
+        }
+    }
+
+    #[test]
+    fn exit_time_straight_out() {
+        // At center, moving 10 m/s: exits the 100 m disk in 10 s.
+        let t = time_to_exit_disk(
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(0.0, 0.0),
+            100.0,
+        );
+        assert!((t - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exit_time_off_center() {
+        // At (50,0) moving +x at 10 m/s: 50 m to the rim, 5 s.
+        let t = time_to_exit_disk(
+            Point::new(50.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(0.0, 0.0),
+            100.0,
+        );
+        assert!((t - 5.0).abs() < 1e-9);
+        // Moving -x: 150 m to the far rim, 15 s.
+        let t2 = time_to_exit_disk(
+            Point::new(50.0, 0.0),
+            Point::new(-10.0, 0.0),
+            Point::new(0.0, 0.0),
+            100.0,
+        );
+        assert!((t2 - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn outside_is_zero_and_still_is_horizon() {
+        assert_eq!(
+            time_to_exit_disk(Point::new(200.0, 0.0), Point::new(1.0, 0.0), Point::new(0.0, 0.0), 100.0),
+            0.0
+        );
+        let t = time_to_exit_disk(Point::new(0.0, 0.0), Point::new(0.0, 0.0), Point::new(0.0, 0.0), 100.0);
+        assert_eq!(t, 3600.0);
+    }
+
+    #[test]
+    fn parked_hosts_stay_forever() {
+        let mut h = host((0.0, 0.0), (20.0, 0.0));
+        h.parked = true;
+        assert_eq!(Pessimistic.estimate(&h), f64::INFINITY);
+        assert_eq!(Optimistic.estimate(&h), f64::INFINITY);
+        assert_eq!(Kinematic.estimate(&h), f64::INFINITY);
+    }
+
+    #[test]
+    fn estimator_ordering_for_fast_leavers() {
+        // A vehicle crossing the group quickly: kinematic should see a short
+        // stay, optimistic a long one.
+        let h = host((80.0, 0.0), (20.0, 0.0)); // 1 s to the rim
+        let kin = Kinematic.estimate(&h);
+        assert!((kin - 1.0).abs() < 1e-9);
+        assert!(Optimistic.estimate(&h) > kin);
+        assert!(Pessimistic.estimate(&h) > kin, "pessimistic floor is 30 s");
+    }
+
+    #[test]
+    fn estimator_ordering_for_lingerers() {
+        // Slow vehicle near the center: kinematic sees a long stay.
+        let h = host((0.0, 0.0), (1.0, 0.0)); // 100 s to the rim
+        let kin = Kinematic.estimate(&h);
+        assert!((kin - 100.0).abs() < 1e-9);
+        assert!(Pessimistic.estimate(&h) < kin);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Pessimistic.name(), "pessimistic");
+        assert_eq!(Optimistic.name(), "optimistic");
+        assert_eq!(Kinematic.name(), "kinematic");
+    }
+}

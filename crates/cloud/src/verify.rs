@@ -1,0 +1,251 @@
+//! Verifiable task execution through redundancy (paper §IV-D, after Huang
+//! et al.'s PTVC: "the user can verify the correctness of computation
+//! results").
+//!
+//! Without a trusted substrate, a v-cloud cannot assume lender vehicles
+//! compute honestly. The redundant-execution verifier dispatches each job to
+//! `r` independent hosts, signs and collects result digests, accepts the
+//! majority digest, and flags disagreeing hosts to the reputation layer.
+//! Experiment E12 sweeps cheater fraction vs undetected-error rate and cost.
+
+use std::collections::BTreeMap;
+use vc_crypto::schnorr::{Signature, SigningKey, VerifyingKey};
+use vc_crypto::sha256::{sha256_parts, Digest};
+use vc_sim::node::VehicleId;
+use vc_sim::time::SimTime;
+
+/// A signed receipt: "host `who` computed digest `result` for job `job`".
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultReceipt {
+    /// The job this receipt is for.
+    pub job: u64,
+    /// The executing host.
+    pub who: VehicleId,
+    /// Digest of the claimed result payload.
+    pub result: Digest,
+    /// When the host finished.
+    pub at: SimTime,
+    /// Host signature over the above.
+    pub signature: Signature,
+}
+
+impl ResultReceipt {
+    fn signed_bytes(job: u64, who: VehicleId, result: &Digest, at: SimTime) -> Vec<u8> {
+        let mut out = job.to_be_bytes().to_vec();
+        out.extend_from_slice(&who.0.to_be_bytes());
+        out.extend_from_slice(result);
+        out.extend_from_slice(&at.as_micros().to_be_bytes());
+        out
+    }
+
+    /// Creates a receipt signed with the host's key.
+    pub fn sign(job: u64, who: VehicleId, payload: &[u8], at: SimTime, key: &SigningKey) -> Self {
+        let result = sha256_parts(&[b"vc-result", payload]);
+        let signature = key.sign(&Self::signed_bytes(job, who, &result, at));
+        ResultReceipt { job, who, result, at, signature }
+    }
+
+    /// Verifies the host's signature.
+    pub fn verify(&self, key: &VerifyingKey) -> bool {
+        key.verify(&Self::signed_bytes(self.job, self.who, &self.result, self.at), &self.signature)
+    }
+}
+
+/// Outcome of adjudicating one job's receipts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Adjudication {
+    /// A strict majority agreed on one digest.
+    Accepted {
+        /// The accepted result digest.
+        result: Digest,
+        /// Hosts that reported a different digest (cheaters or faulty).
+        dissenters: Vec<VehicleId>,
+    },
+    /// No digest reached a strict majority — the job must re-run.
+    Inconclusive,
+}
+
+/// Adjudicates signed receipts for a job: verifies signatures, majority-votes
+/// on the result digest.
+///
+/// Receipts failing signature verification are discarded (and reported as
+/// dissenters — an invalid receipt is at best a fault).
+pub fn adjudicate(
+    receipts: &[ResultReceipt],
+    keys: &BTreeMap<VehicleId, VerifyingKey>,
+) -> Adjudication {
+    let mut valid: Vec<&ResultReceipt> = Vec::new();
+    let mut invalid: Vec<VehicleId> = Vec::new();
+    for r in receipts {
+        match keys.get(&r.who) {
+            Some(k) if r.verify(k) => valid.push(r),
+            _ => invalid.push(r.who),
+        }
+    }
+    if valid.is_empty() {
+        return Adjudication::Inconclusive;
+    }
+    let mut tally: BTreeMap<Digest, Vec<VehicleId>> = BTreeMap::new();
+    for r in &valid {
+        tally.entry(r.result).or_default().push(r.who);
+    }
+    let (winner, supporters) = tally
+        .iter()
+        .max_by_key(|(_, v)| v.len())
+        .map(|(d, v)| (*d, v.clone()))
+        .expect("non-empty tally");
+    if supporters.len() * 2 <= valid.len() {
+        return Adjudication::Inconclusive;
+    }
+    let mut dissenters: Vec<VehicleId> =
+        valid.iter().filter(|r| r.result != winner).map(|r| r.who).collect();
+    dissenters.extend(invalid);
+    dissenters.sort();
+    dissenters.dedup();
+    Adjudication::Accepted { result: winner, dissenters }
+}
+
+/// The digest an honest execution of `payload` produces (what hosts should
+/// report; exposed so callers can check the accepted digest against a local
+/// recomputation when they eventually can).
+pub fn honest_digest(payload: &[u8]) -> Digest {
+    sha256_parts(&[b"vc-result", payload])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(n: usize) -> (Vec<SigningKey>, BTreeMap<VehicleId, VerifyingKey>) {
+        let keys: Vec<SigningKey> =
+            (0..n).map(|i| SigningKey::from_seed(&[i as u8, 0xAA])).collect();
+        let directory = keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (VehicleId(i as u32), k.verifying_key()))
+            .collect();
+        (keys, directory)
+    }
+
+    #[test]
+    fn unanimous_agreement_accepts() {
+        let (keys, dir) = setup(3);
+        let receipts: Vec<ResultReceipt> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| {
+                ResultReceipt::sign(1, VehicleId(i as u32), b"42", SimTime::from_secs(5), k)
+            })
+            .collect();
+        match adjudicate(&receipts, &dir) {
+            Adjudication::Accepted { result, dissenters } => {
+                assert_eq!(result, honest_digest(b"42"));
+                assert!(dissenters.is_empty());
+            }
+            other => panic!("expected accept, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn minority_cheater_is_flagged() {
+        let (keys, dir) = setup(3);
+        let mut receipts: Vec<ResultReceipt> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| {
+                ResultReceipt::sign(1, VehicleId(i as u32), b"42", SimTime::from_secs(5), k)
+            })
+            .collect();
+        // Host 2 lies.
+        receipts[2] = ResultReceipt::sign(1, VehicleId(2), b"evil", SimTime::from_secs(5), &keys[2]);
+        match adjudicate(&receipts, &dir) {
+            Adjudication::Accepted { result, dissenters } => {
+                assert_eq!(result, honest_digest(b"42"));
+                assert_eq!(dissenters, vec![VehicleId(2)]);
+            }
+            other => panic!("expected accept, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cheating_majority_wins_the_vote() {
+        // The known limit of redundancy: 2 colluding cheaters out of 3 carry
+        // the vote. E12 quantifies how often this happens per cheater rate.
+        let (keys, dir) = setup(3);
+        let receipts = vec![
+            ResultReceipt::sign(1, VehicleId(0), b"42", SimTime::from_secs(5), &keys[0]),
+            ResultReceipt::sign(1, VehicleId(1), b"evil", SimTime::from_secs(5), &keys[1]),
+            ResultReceipt::sign(1, VehicleId(2), b"evil", SimTime::from_secs(5), &keys[2]),
+        ];
+        match adjudicate(&receipts, &dir) {
+            Adjudication::Accepted { result, dissenters } => {
+                assert_eq!(result, honest_digest(b"evil"));
+                assert_eq!(dissenters, vec![VehicleId(0)]);
+            }
+            other => panic!("expected (wrong) accept, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tie_is_inconclusive() {
+        let (keys, dir) = setup(2);
+        let receipts = vec![
+            ResultReceipt::sign(1, VehicleId(0), b"a", SimTime::from_secs(5), &keys[0]),
+            ResultReceipt::sign(1, VehicleId(1), b"b", SimTime::from_secs(5), &keys[1]),
+        ];
+        assert_eq!(adjudicate(&receipts, &dir), Adjudication::Inconclusive);
+    }
+
+    #[test]
+    fn forged_receipt_discarded() {
+        let (keys, dir) = setup(3);
+        let mut receipts: Vec<ResultReceipt> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| {
+                ResultReceipt::sign(1, VehicleId(i as u32), b"42", SimTime::from_secs(5), k)
+            })
+            .collect();
+        // Host 2's receipt is forged (signed with the wrong key).
+        receipts[2] = ResultReceipt::sign(1, VehicleId(2), b"42", SimTime::from_secs(5), &keys[0]);
+        match adjudicate(&receipts, &dir) {
+            Adjudication::Accepted { dissenters, .. } => {
+                assert_eq!(dissenters, vec![VehicleId(2)], "forger flagged");
+            }
+            other => panic!("expected accept, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_host_discarded() {
+        let (keys, dir) = setup(2);
+        let receipts = vec![
+            ResultReceipt::sign(1, VehicleId(0), b"x", SimTime::from_secs(5), &keys[0]),
+            ResultReceipt::sign(1, VehicleId(1), b"x", SimTime::from_secs(5), &keys[1]),
+            // Not in the directory:
+            ResultReceipt::sign(1, VehicleId(99), b"y", SimTime::from_secs(5), &keys[0]),
+        ];
+        match adjudicate(&receipts, &dir) {
+            Adjudication::Accepted { result, dissenters } => {
+                assert_eq!(result, honest_digest(b"x"));
+                assert_eq!(dissenters, vec![VehicleId(99)]);
+            }
+            other => panic!("expected accept, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_receipts_inconclusive() {
+        let (_, dir) = setup(1);
+        assert_eq!(adjudicate(&[], &dir), Adjudication::Inconclusive);
+    }
+
+    #[test]
+    fn single_receipt_accepts_trivially() {
+        // r = 1 is the no-verification baseline: whatever the lone host says
+        // is accepted — E12's vulnerable arm.
+        let (keys, dir) = setup(1);
+        let r = ResultReceipt::sign(1, VehicleId(0), b"whatever", SimTime::from_secs(1), &keys[0]);
+        assert!(matches!(adjudicate(&[r], &dir), Adjudication::Accepted { .. }));
+    }
+}

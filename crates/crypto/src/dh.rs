@@ -1,0 +1,134 @@
+//! Diffie–Hellman key agreement over the crate group, with HKDF key
+//! derivation to a ChaCha20 session key.
+//!
+//! Pairs of vehicles establish session keys through this exchange during
+//! v-cloud admission; the derived key then protects task payloads and
+//! handover checkpoints.
+
+use crate::group::{Element, Scalar};
+use crate::hmac::hkdf;
+
+/// An ephemeral DH secret.
+#[derive(Clone, Copy)]
+pub struct EphemeralSecret {
+    secret: Scalar,
+}
+
+impl std::fmt::Debug for EphemeralSecret {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("EphemeralSecret(..)")
+    }
+}
+
+/// A DH public share `g^x`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PublicShare(Element);
+
+/// A derived 32-byte session key.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct SessionKey(pub [u8; 32]);
+
+impl std::fmt::Debug for SessionKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SessionKey(..)")
+    }
+}
+
+impl EphemeralSecret {
+    /// Derives an ephemeral secret from seed bytes (callers supply RNG
+    /// output or a transcript-bound seed).
+    pub fn from_seed(seed: &[u8]) -> EphemeralSecret {
+        let mut secret = Scalar::hash_to_scalar(&[b"vc-dh-ephemeral", seed]);
+        if secret.is_zero() {
+            secret = Scalar::one();
+        }
+        EphemeralSecret { secret }
+    }
+
+    /// The public share to send to the peer.
+    pub fn public_share(&self) -> PublicShare {
+        PublicShare(Element::base_pow(self.secret))
+    }
+
+    /// Completes the exchange: derives the session key from the peer's
+    /// share, bound to a context label so unrelated protocols cannot
+    /// confuse keys.
+    pub fn agree(&self, peer: &PublicShare, context: &[u8]) -> SessionKey {
+        let shared = peer.0.pow(self.secret);
+        let okm = hkdf(b"vc-dh-salt", &shared.to_bytes(), context, 32);
+        let mut key = [0u8; 32];
+        key.copy_from_slice(&okm);
+        SessionKey(key)
+    }
+}
+
+impl PublicShare {
+    /// 32-byte encoding.
+    pub fn to_bytes(&self) -> [u8; 32] {
+        self.0.to_bytes()
+    }
+
+    /// Decodes and validates a share (subgroup membership enforced, which
+    /// blocks small-subgroup confinement attacks).
+    pub fn from_bytes(bytes: &[u8; 32]) -> Option<PublicShare> {
+        Element::from_bytes(bytes).map(PublicShare)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_sides_agree() {
+        let alice = EphemeralSecret::from_seed(b"alice seed");
+        let bob = EphemeralSecret::from_seed(b"bob seed");
+        let k1 = alice.agree(&bob.public_share(), b"ctx");
+        let k2 = bob.agree(&alice.public_share(), b"ctx");
+        assert_eq!(k1.0, k2.0);
+    }
+
+    #[test]
+    fn context_separates_keys() {
+        let alice = EphemeralSecret::from_seed(b"a");
+        let bob = EphemeralSecret::from_seed(b"b");
+        let k1 = alice.agree(&bob.public_share(), b"task-transfer");
+        let k2 = alice.agree(&bob.public_share(), b"beacon");
+        assert_ne!(k1.0, k2.0);
+    }
+
+    #[test]
+    fn different_peers_different_keys() {
+        let alice = EphemeralSecret::from_seed(b"a");
+        let bob = EphemeralSecret::from_seed(b"b");
+        let carol = EphemeralSecret::from_seed(b"c");
+        let kb = alice.agree(&bob.public_share(), b"ctx");
+        let kc = alice.agree(&carol.public_share(), b"ctx");
+        assert_ne!(kb.0, kc.0);
+    }
+
+    #[test]
+    fn share_bytes_roundtrip_and_validation() {
+        let share = EphemeralSecret::from_seed(b"s").public_share();
+        assert_eq!(PublicShare::from_bytes(&share.to_bytes()), Some(share));
+        assert_eq!(PublicShare::from_bytes(&[0u8; 32]), None);
+    }
+
+    #[test]
+    fn session_key_drives_cipher() {
+        use crate::chacha20::{open, seal};
+        let alice = EphemeralSecret::from_seed(b"a");
+        let bob = EphemeralSecret::from_seed(b"b");
+        let key = alice.agree(&bob.public_share(), b"payload");
+        let nonce = [1u8; 12];
+        let sealed = seal(&key.0, &nonce, b"sensor frame");
+        let peer_key = bob.agree(&alice.public_share(), b"payload");
+        assert_eq!(open(&peer_key.0, &nonce, &sealed).unwrap(), b"sensor frame");
+    }
+
+    #[test]
+    fn debug_hides_secrets() {
+        assert_eq!(format!("{:?}", EphemeralSecret::from_seed(b"x")), "EphemeralSecret(..)");
+        assert_eq!(format!("{:?}", SessionKey([0; 32])), "SessionKey(..)");
+    }
+}

@@ -1,0 +1,58 @@
+//! Hex encoding helpers shared across the workspace.
+
+/// Encodes bytes as lowercase hex.
+///
+/// ```
+/// assert_eq!(vc_crypto::hex::encode(&[0xde, 0xad]), "dead");
+/// ```
+pub fn encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+/// Decodes a hex string (case-insensitive); `None` on odd length or invalid
+/// digits.
+pub fn decode(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for pair in bytes.chunks(2) {
+        let hi = (pair[0] as char).to_digit(16)?;
+        let lo = (pair[1] as char).to_digit(16)?;
+        out.push((hi * 16 + lo) as u8);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn empty() {
+        assert_eq!(encode(&[]), "");
+        assert_eq!(decode("").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn case_insensitive_decode() {
+        assert_eq!(decode("DEad").unwrap(), vec![0xde, 0xad]);
+    }
+
+    #[test]
+    fn invalid_inputs() {
+        assert_eq!(decode("abc"), None, "odd length");
+        assert_eq!(decode("zz"), None, "bad digit");
+    }
+}

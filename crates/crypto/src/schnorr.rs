@@ -1,0 +1,354 @@
+//! Schnorr signatures over the crate's discrete-log [`group`](crate::group).
+//!
+//! The signature scheme under every authenticated message in the workspace:
+//! pseudonym certificates, beacon signing, task receipts. Deterministic
+//! nonces (RFC 6979 in spirit: `k = H(sk || msg)`) keep runs reproducible
+//! and remove nonce-reuse foot-guns.
+
+use crate::group::{Element, Scalar};
+use crate::sha256::sha256_parts;
+
+/// A signing (secret) key.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct SigningKey {
+    secret: Scalar,
+}
+
+impl std::fmt::Debug for SigningKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print the secret.
+        f.write_str("SigningKey(..)")
+    }
+}
+
+/// A verification (public) key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VerifyingKey {
+    point: Element,
+}
+
+/// A Schnorr signature `(R, s)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Signature {
+    /// Commitment `R = g^k`.
+    pub commitment: Element,
+    /// Response `s = k + x·e (mod q)`.
+    pub response: Scalar,
+}
+
+/// Serialized signature length in bytes.
+pub const SIGNATURE_LEN: usize = 64;
+
+impl SigningKey {
+    /// Derives a signing key from 32 bytes of seed material.
+    ///
+    /// The seed is hashed to a scalar; a zero result (probability ~2^-256)
+    /// is bumped to one so the key is always valid.
+    pub fn from_seed(seed: &[u8]) -> SigningKey {
+        let mut secret = Scalar::hash_to_scalar(&[b"vc-schnorr-key", seed]);
+        if secret.is_zero() {
+            secret = Scalar::one();
+        }
+        SigningKey { secret }
+    }
+
+    /// The matching verification key `y = g^x`.
+    pub fn verifying_key(&self) -> VerifyingKey {
+        VerifyingKey { point: Element::base_pow(self.secret) }
+    }
+
+    /// Signs `message`.
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        // Deterministic nonce bound to the secret and the message.
+        let mut k = Scalar::hash_to_scalar(&[b"vc-schnorr-nonce", &self.secret.to_bytes(), message]);
+        if k.is_zero() {
+            k = Scalar::one();
+        }
+        let commitment = Element::base_pow(k);
+        let challenge = challenge_scalar(&commitment, &self.verifying_key(), message);
+        let response = k.add(self.secret.mul(challenge));
+        Signature { commitment, response }
+    }
+
+    /// Raw scalar access for protocol constructions (e.g. blinded keys).
+    pub fn secret_scalar(&self) -> Scalar {
+        self.secret
+    }
+}
+
+impl VerifyingKey {
+    /// Verifies `signature` over `message`.
+    pub fn verify(&self, message: &[u8], signature: &Signature) -> bool {
+        let challenge = challenge_scalar(&signature.commitment, self, message);
+        // g^s == R * y^e
+        let lhs = Element::base_pow(signature.response);
+        let rhs = signature.commitment.mul(self.point.pow(challenge));
+        lhs == rhs
+    }
+
+    /// The public group element.
+    pub fn element(&self) -> Element {
+        self.point
+    }
+
+    /// 32-byte encoding.
+    pub fn to_bytes(&self) -> [u8; 32] {
+        self.point.to_bytes()
+    }
+
+    /// Decodes and validates a key (must be a genuine subgroup member).
+    pub fn from_bytes(bytes: &[u8; 32]) -> Option<VerifyingKey> {
+        Element::from_bytes(bytes).map(|point| VerifyingKey { point })
+    }
+
+    /// Creates from an existing element (e.g. a blinded public key).
+    pub fn from_element(point: Element) -> VerifyingKey {
+        VerifyingKey { point }
+    }
+}
+
+impl Signature {
+    /// Serializes to 64 bytes (`R || s`).
+    pub fn to_bytes(&self) -> [u8; SIGNATURE_LEN] {
+        let mut out = [0u8; SIGNATURE_LEN];
+        out[..32].copy_from_slice(&self.commitment.to_bytes());
+        out[32..].copy_from_slice(&self.response.to_bytes());
+        out
+    }
+
+    /// Deserializes from 64 bytes; `None` when the commitment is not a valid
+    /// group element.
+    pub fn from_bytes(bytes: &[u8; SIGNATURE_LEN]) -> Option<Signature> {
+        let mut r = [0u8; 32];
+        r.copy_from_slice(&bytes[..32]);
+        let mut s = [0u8; 32];
+        s.copy_from_slice(&bytes[32..]);
+        let commitment = Element::from_bytes(&r)?;
+        Some(Signature { commitment, response: Scalar::from_bytes(&s) })
+    }
+}
+
+/// Batch verification of many (message, key, signature) triples — the
+/// technique the paper's time-critical authentication citations rely on
+/// ([21] batch verification, [44] real-time signatures).
+///
+/// Uses small random weights `r_i` and one simultaneous multi-exponentiation:
+///
+/// ```text
+/// g^(Σ r_i·s_i)  ==  Π R_i^{r_i} · Π y_i^{r_i·e_i}
+/// ```
+///
+/// Sound except with probability ~2^-128 over the weights (derived by
+/// hashing the whole batch with `weight_seed`, so a forger cannot pick
+/// signatures after seeing them). An empty batch verifies trivially.
+///
+/// Note: a failed batch says *some* signature is bad but not which; callers
+/// bisect or fall back to [`VerifyingKey::verify`].
+pub fn batch_verify(items: &[(&[u8], VerifyingKey, Signature)], weight_seed: &[u8]) -> bool {
+    if items.is_empty() {
+        return true;
+    }
+    // Transcript hash binding all items, so weights depend on everything.
+    let mut transcript = Sha256Transcript::new(weight_seed);
+    for (msg, key, sig) in items {
+        transcript.absorb(msg);
+        transcript.absorb(&key.to_bytes());
+        transcript.absorb(&sig.to_bytes());
+    }
+    let mut s_combined = Scalar::zero();
+    let mut bases = Vec::with_capacity(items.len() * 2);
+    let mut exps = Vec::with_capacity(items.len() * 2);
+    for (i, (msg, key, sig)) in items.iter().enumerate() {
+        let weight = transcript.weight(i as u64);
+        let challenge = challenge_scalar(&sig.commitment, key, msg);
+        s_combined = s_combined.add(weight.mul(sig.response));
+        bases.push(sig.commitment);
+        exps.push(weight);
+        bases.push(key.element());
+        exps.push(weight.mul(challenge));
+    }
+    let lhs = Element::base_pow(s_combined);
+    let rhs = crate::group::multi_exp(&bases, &exps);
+    lhs == rhs
+}
+
+/// Minimal transcript helper for deriving batch weights.
+struct Sha256Transcript {
+    state: [u8; 32],
+}
+
+impl Sha256Transcript {
+    fn new(seed: &[u8]) -> Self {
+        Sha256Transcript { state: sha256_parts(&[b"vc-batch-transcript", seed]) }
+    }
+
+    fn absorb(&mut self, data: &[u8]) {
+        self.state = sha256_parts(&[&self.state, data]);
+    }
+
+    fn weight(&self, index: u64) -> Scalar {
+        let mut w = Scalar::hash_to_scalar(&[b"vc-batch-weight", &self.state, &index.to_be_bytes()]);
+        if w.is_zero() {
+            w = Scalar::one();
+        }
+        w
+    }
+}
+
+fn challenge_scalar(commitment: &Element, key: &VerifyingKey, message: &[u8]) -> Scalar {
+    let digest = sha256_parts(&[
+        b"vc-schnorr-challenge",
+        &commitment.to_bytes(),
+        &key.to_bytes(),
+        message,
+    ]);
+    Scalar::hash_to_scalar(&[&digest])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let sk = SigningKey::from_seed(b"vehicle 42 registration seed");
+        let vk = sk.verifying_key();
+        let sig = sk.sign(b"beacon: pos=(12.0, 8.5) v=13.2");
+        assert!(vk.verify(b"beacon: pos=(12.0, 8.5) v=13.2", &sig));
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let sk = SigningKey::from_seed(b"seed-a");
+        let sig = sk.sign(b"original");
+        assert!(!sk.verifying_key().verify(b"tampered", &sig));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let sk1 = SigningKey::from_seed(b"seed-1");
+        let sk2 = SigningKey::from_seed(b"seed-2");
+        let sig = sk1.sign(b"m");
+        assert!(!sk2.verifying_key().verify(b"m", &sig));
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let sk = SigningKey::from_seed(b"seed");
+        let sig = sk.sign(b"m");
+        let bumped = Signature {
+            commitment: sig.commitment,
+            response: sig.response.add(Scalar::one()),
+        };
+        assert!(!sk.verifying_key().verify(b"m", &bumped));
+        let wrong_commit = Signature {
+            commitment: sig.commitment.mul(Element::generator()),
+            response: sig.response,
+        };
+        assert!(!sk.verifying_key().verify(b"m", &wrong_commit));
+    }
+
+    #[test]
+    fn deterministic_signatures() {
+        let sk = SigningKey::from_seed(b"det");
+        assert_eq!(sk.sign(b"m").to_bytes(), sk.sign(b"m").to_bytes());
+        assert_ne!(sk.sign(b"m1").to_bytes(), sk.sign(b"m2").to_bytes());
+    }
+
+    #[test]
+    fn signature_bytes_roundtrip() {
+        let sk = SigningKey::from_seed(b"bytes");
+        let sig = sk.sign(b"msg");
+        let restored = Signature::from_bytes(&sig.to_bytes()).unwrap();
+        assert_eq!(restored, sig);
+        assert!(sk.verifying_key().verify(b"msg", &restored));
+        // Corrupt the commitment half so it's no longer a subgroup member.
+        let mut bad = sig.to_bytes();
+        bad[..32].copy_from_slice(&[0u8; 32]);
+        assert_eq!(Signature::from_bytes(&bad), None);
+    }
+
+    #[test]
+    fn verifying_key_bytes_roundtrip() {
+        let vk = SigningKey::from_seed(b"vk").verifying_key();
+        assert_eq!(VerifyingKey::from_bytes(&vk.to_bytes()), Some(vk));
+        assert_eq!(VerifyingKey::from_bytes(&[0u8; 32]), None);
+    }
+
+    #[test]
+    fn distinct_seeds_distinct_keys() {
+        let a = SigningKey::from_seed(b"a").verifying_key();
+        let b = SigningKey::from_seed(b"b").verifying_key();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn debug_hides_secret() {
+        let sk = SigningKey::from_seed(b"hidden");
+        assert_eq!(format!("{sk:?}"), "SigningKey(..)");
+    }
+
+    #[test]
+    fn batch_verify_accepts_valid_batch() {
+        let items: Vec<(Vec<u8>, VerifyingKey, Signature)> = (0..8u8)
+            .map(|i| {
+                let sk = SigningKey::from_seed(&[i; 4]);
+                let msg = vec![i; 20];
+                let sig = sk.sign(&msg);
+                (msg, sk.verifying_key(), sig)
+            })
+            .collect();
+        let refs: Vec<(&[u8], VerifyingKey, Signature)> =
+            items.iter().map(|(m, k, s)| (m.as_slice(), *k, *s)).collect();
+        assert!(batch_verify(&refs, b"seed"));
+        assert!(batch_verify(&[], b"seed"), "empty batch verifies");
+    }
+
+    #[test]
+    fn batch_verify_rejects_one_bad_signature() {
+        let mut items: Vec<(Vec<u8>, VerifyingKey, Signature)> = (0..6u8)
+            .map(|i| {
+                let sk = SigningKey::from_seed(&[i; 4]);
+                let msg = vec![i; 20];
+                let sig = sk.sign(&msg);
+                (msg, sk.verifying_key(), sig)
+            })
+            .collect();
+        // Corrupt one message after signing.
+        items[3].0[0] ^= 1;
+        let refs: Vec<(&[u8], VerifyingKey, Signature)> =
+            items.iter().map(|(m, k, s)| (m.as_slice(), *k, *s)).collect();
+        assert!(!batch_verify(&refs, b"seed"));
+    }
+
+    #[test]
+    fn batch_verify_rejects_swapped_signatures() {
+        // Two individually valid signatures attached to each other's message.
+        let sk1 = SigningKey::from_seed(b"one");
+        let sk2 = SigningKey::from_seed(b"two");
+        let s1 = sk1.sign(b"msg-1");
+        let s2 = sk2.sign(b"msg-2");
+        let swapped: Vec<(&[u8], VerifyingKey, Signature)> = vec![
+            (b"msg-1", sk1.verifying_key(), s2),
+            (b"msg-2", sk2.verifying_key(), s1),
+        ];
+        assert!(!batch_verify(&swapped, b"seed"));
+    }
+
+    #[test]
+    fn batch_verify_single_item_agrees_with_verify() {
+        let sk = SigningKey::from_seed(b"solo");
+        let sig = sk.sign(b"m");
+        assert!(batch_verify(&[(b"m", sk.verifying_key(), sig)], b"x"));
+        let bad = Signature { commitment: sig.commitment, response: sig.response.add(Scalar::one()) };
+        assert!(!batch_verify(&[(b"m", sk.verifying_key(), bad)], b"x"));
+    }
+
+    #[test]
+    fn empty_message_signs() {
+        let sk = SigningKey::from_seed(b"empty");
+        let sig = sk.sign(b"");
+        assert!(sk.verifying_key().verify(b"", &sig));
+        assert!(!sk.verifying_key().verify(b"x", &sig));
+    }
+}

@@ -1,0 +1,255 @@
+//! Secure beaconing: the periodic signed heartbeats that make neighbor
+//! discovery trustworthy.
+//!
+//! Every VANET protocol in this workspace rests on "who is around me and
+//! where are they going" — which an attacker can poison unless beacons are
+//! authenticated (paper §III-B: position/kinematics claims feed safety
+//! decisions). A [`SignedBeacon`] binds sender id, kinematics, and a
+//! timestamp under a signature; a [`BeaconStore`] keeps only verified,
+//! fresh beacons and ages them out, yielding the *verified* neighbor view.
+//!
+//! In the full stack the signing key is a pseudonym key from `vc-auth`; this
+//! module is deliberately agnostic: it takes any Schnorr key pair, so the
+//! three authentication schemes plug in unchanged.
+
+use std::collections::BTreeMap;
+use vc_crypto::schnorr::{Signature, SigningKey, VerifyingKey};
+use vc_sim::geom::Point;
+use vc_sim::node::VehicleId;
+use vc_sim::time::{SimDuration, SimTime};
+
+/// The beacon payload: who, where, how fast, when.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Beacon {
+    /// Sender (pseudonymous id in the full stack).
+    pub sender: VehicleId,
+    /// Claimed position.
+    pub pos: Point,
+    /// Claimed velocity.
+    pub vel: Point,
+    /// Claimed send time.
+    pub sent_at: SimTime,
+}
+
+impl Beacon {
+    fn bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + 32 + 8);
+        out.extend_from_slice(&self.sender.0.to_be_bytes());
+        out.extend_from_slice(&self.pos.x.to_be_bytes());
+        out.extend_from_slice(&self.pos.y.to_be_bytes());
+        out.extend_from_slice(&self.vel.x.to_be_bytes());
+        out.extend_from_slice(&self.vel.y.to_be_bytes());
+        out.extend_from_slice(&self.sent_at.as_micros().to_be_bytes());
+        out
+    }
+
+    /// Position extrapolated to `now` at the beacon's claimed velocity.
+    pub fn predicted_pos(&self, now: SimTime) -> Point {
+        let dt = now.saturating_since(self.sent_at).as_secs_f64();
+        self.pos + self.vel * dt
+    }
+}
+
+/// A beacon plus its sender signature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignedBeacon {
+    /// The payload.
+    pub beacon: Beacon,
+    /// Signature under the sender's (pseudonym) key.
+    pub signature: Signature,
+}
+
+/// Signs a beacon.
+pub fn sign_beacon(beacon: Beacon, key: &SigningKey) -> SignedBeacon {
+    SignedBeacon { signature: key.sign(&beacon.bytes()), beacon }
+}
+
+/// Verifies a beacon's signature (freshness is the store's job).
+pub fn verify_beacon(signed: &SignedBeacon, key: &VerifyingKey) -> bool {
+    key.verify(&signed.beacon.bytes(), &signed.signature)
+}
+
+/// Why a beacon was rejected by the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BeaconReject {
+    /// The signature did not verify.
+    BadSignature,
+    /// Timestamp outside the freshness window (stale or future).
+    Stale,
+    /// Older than a beacon already held from this sender.
+    Superseded,
+}
+
+/// Per-vehicle store of verified, fresh neighbor beacons.
+#[derive(Debug, Clone)]
+pub struct BeaconStore {
+    freshness: SimDuration,
+    entries: BTreeMap<VehicleId, Beacon>,
+}
+
+impl BeaconStore {
+    /// Creates a store that trusts beacons for `freshness` after sending
+    /// (1 s is the DSRC-style default at 10 Hz beaconing).
+    pub fn new(freshness: SimDuration) -> Self {
+        BeaconStore { freshness, entries: BTreeMap::new() }
+    }
+
+    /// Ingests a received beacon: verifies the signature against the
+    /// sender's key, checks freshness, and keeps it if newer than what is
+    /// held.
+    ///
+    /// # Errors
+    ///
+    /// Returns the specific [`BeaconReject`] on refusal.
+    pub fn ingest(
+        &mut self,
+        signed: &SignedBeacon,
+        sender_key: &VerifyingKey,
+        now: SimTime,
+    ) -> Result<(), BeaconReject> {
+        if !verify_beacon(signed, sender_key) {
+            return Err(BeaconReject::BadSignature);
+        }
+        let b = signed.beacon;
+        if b.sent_at > now || now.saturating_since(b.sent_at) > self.freshness {
+            return Err(BeaconReject::Stale);
+        }
+        match self.entries.get(&b.sender) {
+            Some(held) if held.sent_at >= b.sent_at => Err(BeaconReject::Superseded),
+            _ => {
+                self.entries.insert(b.sender, b);
+                Ok(())
+            }
+        }
+    }
+
+    /// Evicts beacons that have aged past the freshness window.
+    pub fn evict_stale(&mut self, now: SimTime) {
+        let freshness = self.freshness;
+        self.entries.retain(|_, b| now.saturating_since(b.sent_at) <= freshness);
+    }
+
+    /// Verified neighbors (by most recent beacon), id order.
+    pub fn neighbors(&self) -> Vec<VehicleId> {
+        self.entries.keys().copied().collect()
+    }
+
+    /// The freshest beacon from a neighbor.
+    pub fn beacon_of(&self, id: VehicleId) -> Option<&Beacon> {
+        self.entries.get(&id)
+    }
+
+    /// Number of tracked neighbors.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no neighbor is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn beacon(sender: u32, t: u64) -> Beacon {
+        Beacon {
+            sender: VehicleId(sender),
+            pos: Point::new(10.0, 20.0),
+            vel: Point::new(5.0, 0.0),
+            sent_at: SimTime::from_secs(t),
+        }
+    }
+
+    fn key(i: u8) -> SigningKey {
+        SigningKey::from_seed(&[i, 0xBE, 0xAC])
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let k = key(1);
+        let sb = sign_beacon(beacon(1, 10), &k);
+        assert!(verify_beacon(&sb, &k.verifying_key()));
+        assert!(!verify_beacon(&sb, &key(2).verifying_key()));
+    }
+
+    #[test]
+    fn forged_kinematics_detected() {
+        let k = key(1);
+        let mut sb = sign_beacon(beacon(1, 10), &k);
+        sb.beacon.pos = Point::new(999.0, 999.0); // teleport the claim
+        assert!(!verify_beacon(&sb, &k.verifying_key()));
+    }
+
+    #[test]
+    fn store_accepts_fresh_rejects_stale_and_future() {
+        let k = key(1);
+        let mut store = BeaconStore::new(SimDuration::from_secs(1));
+        let now = SimTime::from_secs(10);
+        let fresh = sign_beacon(beacon(1, 10), &k);
+        assert_eq!(store.ingest(&fresh, &k.verifying_key(), now), Ok(()));
+        let stale = sign_beacon(beacon(1, 5), &k);
+        assert_eq!(
+            store.ingest(&stale, &k.verifying_key(), now),
+            Err(BeaconReject::Stale)
+        );
+        let future = sign_beacon(beacon(1, 20), &k);
+        assert_eq!(
+            store.ingest(&future, &k.verifying_key(), now),
+            Err(BeaconReject::Stale)
+        );
+    }
+
+    #[test]
+    fn store_rejects_bad_signature() {
+        let mut store = BeaconStore::new(SimDuration::from_secs(1));
+        let sb = sign_beacon(beacon(1, 10), &key(1));
+        assert_eq!(
+            store.ingest(&sb, &key(2).verifying_key(), SimTime::from_secs(10)),
+            Err(BeaconReject::BadSignature)
+        );
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn newer_beacon_supersedes_older_not_vice_versa() {
+        let k = key(1);
+        let mut store = BeaconStore::new(SimDuration::from_secs(100));
+        let now = SimTime::from_secs(50);
+        store.ingest(&sign_beacon(beacon(1, 40), &k), &k.verifying_key(), now).unwrap();
+        // A replayed older beacon (still in window) must not roll back state.
+        assert_eq!(
+            store.ingest(&sign_beacon(beacon(1, 30), &k), &k.verifying_key(), now),
+            Err(BeaconReject::Superseded)
+        );
+        store.ingest(&sign_beacon(beacon(1, 45), &k), &k.verifying_key(), now).unwrap();
+        assert_eq!(store.beacon_of(VehicleId(1)).unwrap().sent_at, SimTime::from_secs(45));
+    }
+
+    #[test]
+    fn eviction_ages_out_neighbors() {
+        let k1 = key(1);
+        let k2 = key(2);
+        let mut store = BeaconStore::new(SimDuration::from_secs(1));
+        store
+            .ingest(&sign_beacon(beacon(1, 10), &k1), &k1.verifying_key(), SimTime::from_secs(10))
+            .unwrap();
+        store
+            .ingest(&sign_beacon(beacon(2, 11), &k2), &k2.verifying_key(), SimTime::from_secs(11))
+            .unwrap();
+        assert_eq!(store.len(), 2);
+        store.evict_stale(SimTime::from_secs(11).saturating_add(SimDuration::from_millis(500)));
+        assert_eq!(store.neighbors(), vec![VehicleId(2)], "v1's beacon aged out");
+    }
+
+    #[test]
+    fn prediction_extrapolates() {
+        let b = beacon(1, 10);
+        let p = b.predicted_pos(SimTime::from_secs(12));
+        assert_eq!(p, Point::new(20.0, 20.0), "2s at 5 m/s east");
+        // Prediction at (or before) send time is the claimed position.
+        assert_eq!(b.predicted_pos(SimTime::from_secs(10)), b.pos);
+    }
+}

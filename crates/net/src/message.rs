@@ -1,0 +1,134 @@
+//! Packets and per-packet bookkeeping for the routing experiments.
+
+use vc_sim::node::VehicleId;
+use vc_sim::time::{SimDuration, SimTime};
+
+/// Identifier of a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PacketId(pub u64);
+
+/// A unicast data packet traveling through the VANET.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    /// This packet's id.
+    pub id: PacketId,
+    /// Originating vehicle.
+    pub src: VehicleId,
+    /// Destination vehicle.
+    pub dst: VehicleId,
+    /// Payload size in bytes (drives serialization delay).
+    pub size_bytes: usize,
+    /// Creation time.
+    pub created: SimTime,
+    /// Remaining hop budget; the packet dies at zero.
+    pub ttl_hops: u32,
+}
+
+impl Packet {
+    /// Creates a packet with the standard 64-hop budget.
+    pub fn new(id: PacketId, src: VehicleId, dst: VehicleId, size_bytes: usize, created: SimTime) -> Self {
+        Packet { id, src, dst, size_bytes, created, ttl_hops: 64 }
+    }
+}
+
+/// Final outcome of one packet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Outcome {
+    /// Delivered to the destination.
+    Delivered {
+        /// End-to-end latency.
+        latency: SimDuration,
+        /// Hops traversed by the first delivered copy.
+        hops: u32,
+    },
+    /// Still in flight when the run ended, or all copies died.
+    Lost,
+}
+
+/// Aggregate statistics for one routing run.
+#[derive(Debug, Clone, Default)]
+pub struct RoutingStats {
+    /// Packets injected.
+    pub sent: u64,
+    /// Packets delivered.
+    pub delivered: u64,
+    /// Total radio transmissions attempted (overhead measure).
+    pub transmissions: u64,
+    /// Per-delivery latencies, seconds.
+    pub latencies_s: Vec<f64>,
+    /// Per-delivery hop counts.
+    pub hops: Vec<u32>,
+}
+
+impl RoutingStats {
+    /// Delivery ratio in `[0, 1]`.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.sent as f64
+        }
+    }
+
+    /// Mean delivery latency in seconds (0 when nothing delivered).
+    pub fn mean_latency_s(&self) -> f64 {
+        if self.latencies_s.is_empty() {
+            0.0
+        } else {
+            self.latencies_s.iter().sum::<f64>() / self.latencies_s.len() as f64
+        }
+    }
+
+    /// Mean hops per delivered packet.
+    pub fn mean_hops(&self) -> f64 {
+        if self.hops.is_empty() {
+            0.0
+        } else {
+            self.hops.iter().map(|&h| h as f64).sum::<f64>() / self.hops.len() as f64
+        }
+    }
+
+    /// Transmissions per delivered packet (∞-free: 0 when none delivered).
+    pub fn overhead_per_delivery(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.transmissions as f64 / self.delivered as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_defaults() {
+        let p = Packet::new(PacketId(1), VehicleId(0), VehicleId(5), 256, SimTime::ZERO);
+        assert_eq!(p.ttl_hops, 64);
+        assert_eq!(p.size_bytes, 256);
+    }
+
+    #[test]
+    fn stats_ratios() {
+        let mut s = RoutingStats::default();
+        assert_eq!(s.delivery_ratio(), 0.0);
+        assert_eq!(s.overhead_per_delivery(), 0.0);
+        s.sent = 4;
+        s.delivered = 3;
+        s.transmissions = 30;
+        s.latencies_s = vec![0.1, 0.2, 0.3];
+        s.hops = vec![2, 4, 6];
+        assert!((s.delivery_ratio() - 0.75).abs() < 1e-12);
+        assert!((s.mean_latency_s() - 0.2).abs() < 1e-12);
+        assert!((s.mean_hops() - 4.0).abs() < 1e-12);
+        assert!((s.overhead_per_delivery() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_latency_mean_is_zero() {
+        let s = RoutingStats { sent: 5, ..Default::default() };
+        assert_eq!(s.mean_latency_s(), 0.0);
+        assert_eq!(s.mean_hops(), 0.0);
+    }
+}

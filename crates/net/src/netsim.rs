@@ -1,0 +1,322 @@
+//! The packet-level network simulation driver.
+//!
+//! Couples a [`Scenario`](vc_sim::scenario::Scenario) (mobility + radio)
+//! with a [`RoutingProtocol`]: each round the fleet moves, the neighbor
+//! table is rebuilt, and every live packet copy gets one forwarding
+//! opportunity over the lossy channel.
+
+use crate::message::{Packet, PacketId, RoutingStats};
+use crate::routing::RoutingProtocol;
+use crate::world::WorldView;
+use std::collections::HashSet;
+use vc_sim::node::VehicleId;
+use vc_sim::scenario::Scenario;
+use vc_sim::time::SimTime;
+
+/// One live copy of a packet.
+#[derive(Debug, Clone)]
+struct Copy {
+    packet_idx: usize,
+    holder: VehicleId,
+    hops: u32,
+    /// Accumulated per-hop radio latency, seconds.
+    radio_latency_s: f64,
+}
+
+/// Per-packet simulation state.
+#[derive(Debug)]
+struct PacketState {
+    packet: Packet,
+    carried: HashSet<VehicleId>,
+    delivered: bool,
+}
+
+/// The network simulation: inject packets, run rounds, read statistics.
+pub struct NetSim<'a, P: RoutingProtocol> {
+    scenario: &'a mut Scenario,
+    protocol: P,
+    packets: Vec<PacketState>,
+    copies: Vec<Copy>,
+    stats: RoutingStats,
+    next_id: u64,
+    now: SimTime,
+}
+
+impl<'a, P: RoutingProtocol> NetSim<'a, P> {
+    /// Creates a simulation over an existing scenario.
+    pub fn new(scenario: &'a mut Scenario, protocol: P) -> Self {
+        NetSim {
+            scenario,
+            protocol,
+            packets: Vec::new(),
+            copies: Vec::new(),
+            stats: RoutingStats::default(),
+            next_id: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Injects a packet from `src` to `dst` with the given payload size.
+    pub fn send(&mut self, src: VehicleId, dst: VehicleId, size_bytes: usize) -> PacketId {
+        let id = PacketId(self.next_id);
+        self.next_id += 1;
+        let packet = Packet::new(id, src, dst, size_bytes, self.now);
+        let idx = self.packets.len();
+        let mut carried = HashSet::new();
+        carried.insert(src);
+        self.packets.push(PacketState { packet, carried, delivered: false });
+        self.copies.push(Copy { packet_idx: idx, holder: src, hops: 0, radio_latency_s: 0.0 });
+        self.stats.sent += 1;
+        id
+    }
+
+    /// Injects `n` packets between random distinct online vehicle pairs.
+    pub fn send_random_pairs(&mut self, n: usize, size_bytes: usize) {
+        let online = self.scenario.fleet.online_ids();
+        if online.len() < 2 {
+            return;
+        }
+        for _ in 0..n {
+            let a = online[self.scenario.rng.index(online.len())];
+            let mut b = a;
+            while b == a {
+                b = online[self.scenario.rng.index(online.len())];
+            }
+            self.send(a, b, size_bytes);
+        }
+    }
+
+    /// Runs `rounds` simulation rounds (each advances mobility by the
+    /// scenario's `dt` and gives every live copy one forwarding chance).
+    pub fn run_rounds(&mut self, rounds: usize) {
+        for _ in 0..rounds {
+            self.round();
+        }
+    }
+
+    fn round(&mut self) {
+        self.scenario.tick();
+        self.now += vc_sim::time::SimDuration::from_secs_f64(self.scenario.dt);
+        let positions = self.scenario.fleet.positions();
+        let velocities: Vec<_> =
+            self.scenario.fleet.vehicles().iter().map(|v| v.kinematics.velocity).collect();
+        let online: Vec<bool> = self.scenario.fleet.vehicles().iter().map(|v| v.online).collect();
+        let neighbors = self.scenario.neighbor_table();
+        let world = WorldView {
+            positions: &positions,
+            velocities: &velocities,
+            online: &online,
+            neighbors: &neighbors,
+        };
+        self.protocol.begin_round(&world);
+
+        let mut new_copies: Vec<Copy> = Vec::new();
+        let mut surviving: Vec<Copy> = Vec::new();
+        // Drain copies; process each.
+        let copies = std::mem::take(&mut self.copies);
+        for copy in copies {
+            let state = &self.packets[copy.packet_idx];
+            // A copy dies when its packet was delivered elsewhere or its
+            // holder went offline (offline vehicles keep nothing running).
+            if state.delivered || !world.is_online(copy.holder) {
+                continue;
+            }
+            let dst = state.packet.dst;
+            // Direct delivery when the destination is a live neighbor.
+            if world.is_online(dst) && neighbors.of(copy.holder).contains(&dst) {
+                self.stats.transmissions += 1;
+                let contenders = neighbors.degree(copy.holder);
+                let size = state.packet.size_bytes;
+                if let Some(lat) = self.scenario.try_deliver_between(
+                    world.pos(copy.holder),
+                    world.pos(dst),
+                    contenders,
+                    size,
+                ) {
+                    let state = &mut self.packets[copy.packet_idx];
+                    state.delivered = true;
+                    let e2e = self.now.saturating_since(state.packet.created).as_secs_f64()
+                        + copy.radio_latency_s
+                        + lat.as_secs_f64();
+                    self.stats.delivered += 1;
+                    self.stats.latencies_s.push(e2e);
+                    self.stats.hops.push(copy.hops + 1);
+                    continue;
+                }
+                // Lost transmission: retry next round.
+                surviving.push(copy);
+                continue;
+            }
+            // Ask the protocol for relays.
+            if copy.hops >= state.packet.ttl_hops {
+                // Out of hop budget: the copy may still deliver directly later,
+                // but may not be relayed further.
+                surviving.push(copy);
+                continue;
+            }
+            let packet = state.packet.clone();
+            let carried_set = state.carried.clone();
+            let hops = self.protocol.next_hops(copy.holder, &packet, &world, &|v| {
+                carried_set.contains(&v)
+            });
+            let mut forwarded = false;
+            for target in hops {
+                debug_assert!(target != copy.holder);
+                self.stats.transmissions += 1;
+                let contenders = neighbors.degree(copy.holder);
+                if let Some(lat) = self.scenario.try_deliver_between(
+                    world.pos(copy.holder),
+                    world.pos(target),
+                    contenders,
+                    packet.size_bytes,
+                ) {
+                    new_copies.push(Copy {
+                        packet_idx: copy.packet_idx,
+                        holder: target,
+                        hops: copy.hops + 1,
+                        radio_latency_s: copy.radio_latency_s + lat.as_secs_f64(),
+                    });
+                    self.packets[copy.packet_idx].carried.insert(target);
+                    forwarded = true;
+                }
+            }
+            // Store-carry-forward: the holder keeps its copy unless the
+            // protocol handed it off (single-copy protocols move, epidemic
+            // replicates and also keeps).
+            let keeps = !forwarded || self.protocol.name() == "epidemic";
+            if keeps {
+                surviving.push(copy);
+            }
+        }
+        surviving.extend(new_copies);
+        self.copies = surviving;
+    }
+
+    /// Mutable access to the underlying scenario (for failure injection
+    /// between rounds: taking vehicles offline, failing RSUs).
+    pub fn scenario_mut(&mut self) -> &mut Scenario {
+        self.scenario
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &RoutingStats {
+        &self.stats
+    }
+
+    /// Consumes the sim, returning final statistics.
+    pub fn into_stats(self) -> RoutingStats {
+        self.stats
+    }
+
+    /// Number of live copies (diagnostic).
+    pub fn live_copies(&self) -> usize {
+        self.copies.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::{ClusterRouting, Epidemic, GreedyGeo, MozoRouting};
+    use vc_sim::scenario::ScenarioBuilder;
+
+    fn dense_urban(seed: u64, n: usize) -> vc_sim::scenario::Scenario {
+        let mut b = ScenarioBuilder::new();
+        b.seed(seed).vehicles(n);
+        b.urban_with_rsus()
+    }
+
+    #[test]
+    fn epidemic_delivers_in_connected_network() {
+        let mut scenario = dense_urban(1, 60);
+        let mut sim = NetSim::new(&mut scenario, Epidemic);
+        sim.send_random_pairs(20, 256);
+        sim.run_rounds(120);
+        let stats = sim.stats();
+        assert!(stats.delivery_ratio() > 0.8, "epidemic ratio {}", stats.delivery_ratio());
+        assert!(stats.transmissions > stats.delivered, "flooding has overhead");
+    }
+
+    #[test]
+    fn greedy_delivers_some_with_less_overhead_than_epidemic() {
+        let mut s1 = dense_urban(2, 60);
+        let mut epi = NetSim::new(&mut s1, Epidemic);
+        epi.send_random_pairs(20, 256);
+        epi.run_rounds(120);
+        let e = epi.into_stats();
+
+        let mut s2 = dense_urban(2, 60);
+        let mut gre = NetSim::new(&mut s2, GreedyGeo);
+        gre.send_random_pairs(20, 256);
+        gre.run_rounds(120);
+        let g = gre.into_stats();
+
+        assert!(g.delivered > 0, "greedy delivered nothing");
+        assert!(
+            g.transmissions < e.transmissions,
+            "greedy {} vs epidemic {} transmissions",
+            g.transmissions,
+            e.transmissions
+        );
+    }
+
+    #[test]
+    fn cluster_delivers() {
+        let mut s = dense_urban(3, 60);
+        let mut sim = NetSim::new(&mut s, ClusterRouting::new());
+        sim.send_random_pairs(20, 256);
+        sim.run_rounds(120);
+        let stats = sim.into_stats();
+        assert!(stats.delivered > 5, "cluster delivered only {}", stats.delivered);
+    }
+
+    #[test]
+    fn mozo_delivers() {
+        let mut s = dense_urban(3, 60);
+        let mut sim = NetSim::new(&mut s, MozoRouting::new());
+        sim.send_random_pairs(20, 256);
+        sim.run_rounds(120);
+        let stats = sim.into_stats();
+        assert!(stats.delivered > 5, "mozo delivered only {}", stats.delivered);
+    }
+
+    #[test]
+    fn delivery_to_self_neighborhood_is_fast() {
+        // src and dst adjacent in a parking lot: first round should deliver.
+        let mut b = ScenarioBuilder::new();
+        b.seed(4).vehicles(10);
+        let mut scenario = b.parking_lot();
+        let mut sim = NetSim::new(&mut scenario, GreedyGeo);
+        sim.send(VehicleId(0), VehicleId(1), 128);
+        sim.run_rounds(5);
+        assert_eq!(sim.stats().delivered, 1);
+        assert_eq!(sim.stats().hops, vec![1]);
+    }
+
+    #[test]
+    fn stats_account_for_losses() {
+        // Two isolated vehicles far apart: nothing delivers.
+        let mut b = ScenarioBuilder::new();
+        b.seed(5).vehicles(2);
+        let mut scenario = b.highway_no_infra();
+        // Force them far apart.
+        scenario.fleet.vehicle_mut(VehicleId(0)).online = true;
+        let mut sim = NetSim::new(&mut scenario, GreedyGeo);
+        sim.send(VehicleId(0), VehicleId(1), 128);
+        sim.run_rounds(3);
+        assert_eq!(sim.stats().sent, 1);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let run = |seed| {
+            let mut scenario = dense_urban(seed, 40);
+            let mut sim = NetSim::new(&mut scenario, Epidemic);
+            sim.send_random_pairs(10, 128);
+            sim.run_rounds(60);
+            let s = sim.into_stats();
+            (s.delivered, s.transmissions)
+        };
+        assert_eq!(run(7), run(7));
+    }
+}

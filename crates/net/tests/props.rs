@@ -1,0 +1,205 @@
+//! Property-based tests for clustering and routing invariants.
+
+use proptest::prelude::*;
+use vc_net::cluster::{form_clusters, ClusterConfig};
+use vc_net::message::{Packet, PacketId};
+use vc_net::routing::{ClusterRouting, Epidemic, GreedyGeo, MozoRouting, RoutingProtocol};
+use vc_net::world::WorldView;
+use vc_sim::geom::Point;
+use vc_sim::node::VehicleId;
+use vc_sim::radio::NeighborTable;
+use vc_sim::time::SimTime;
+
+#[derive(Debug, Clone)]
+struct World {
+    positions: Vec<Point>,
+    velocities: Vec<Point>,
+    online: Vec<bool>,
+}
+
+fn world_of(n: usize) -> impl Strategy<Value = World> {
+    proptest::collection::vec(
+        ((-1000.0f64..1000.0, -1000.0f64..1000.0), (-30.0f64..30.0, -30.0f64..30.0), any::<bool>()),
+        n..=n,
+    )
+    .prop_map(|specs| {
+        let positions = specs.iter().map(|((x, y), _, _)| Point::new(*x, *y)).collect();
+        let velocities = specs.iter().map(|(_, (vx, vy), _)| Point::new(*vx, *vy)).collect();
+        let mut online: Vec<bool> = specs.iter().map(|(_, _, o)| *o).collect();
+        online[0] = true;
+        World { positions, velocities, online }
+    })
+}
+
+fn world_strategy(max_n: usize) -> impl Strategy<Value = World> {
+    proptest::collection::vec(
+        ((-1000.0f64..1000.0, -1000.0f64..1000.0), (-30.0f64..30.0, -30.0f64..30.0), any::<bool>()),
+        2..max_n,
+    )
+    .prop_map(|specs| {
+        let positions = specs.iter().map(|((x, y), _, _)| Point::new(*x, *y)).collect();
+        let velocities = specs.iter().map(|(_, (vx, vy), _)| Point::new(*vx, *vy)).collect();
+        // Ensure at least vehicle 0 is online so protocols have a holder.
+        let mut online: Vec<bool> = specs.iter().map(|(_, _, o)| *o).collect();
+        online[0] = true;
+        World { positions, velocities, online }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Clustering invariants: every online vehicle gets a head; heads head
+    // themselves; members lists are consistent; offline vehicles excluded.
+    #[test]
+    fn clustering_invariants(w in world_strategy(40)) {
+        let table = NeighborTable::build(&w.positions, &w.online, 300.0);
+        let world = WorldView {
+            positions: &w.positions,
+            velocities: &w.velocities,
+            online: &w.online,
+            neighbors: &table,
+        };
+        for cfg in [ClusterConfig::multi_hop(), ClusterConfig::moving_zone()] {
+            let clustering = form_clusters(&world, &cfg);
+            for i in 0..w.positions.len() {
+                let id = VehicleId(i as u32);
+                match clustering.head_of(id) {
+                    Some(head) => {
+                        prop_assert!(w.online[i], "offline vehicle got a head");
+                        prop_assert_eq!(clustering.head_of(head), Some(head));
+                        prop_assert!(clustering.members(head).contains(&id));
+                    }
+                    None => prop_assert!(!w.online[i], "online vehicle without a head"),
+                }
+            }
+            // Members partition the online set.
+            let mut assigned: Vec<VehicleId> = clustering
+                .heads()
+                .flat_map(|h| clustering.members(h).to_vec())
+                .collect();
+            assigned.sort();
+            let mut online_ids: Vec<VehicleId> = (0..w.positions.len())
+                .filter(|&i| w.online[i])
+                .map(|i| VehicleId(i as u32))
+                .collect();
+            online_ids.sort();
+            prop_assert_eq!(assigned, online_ids);
+        }
+    }
+
+    // Maintenance invariants mirror the from-scratch invariants: every
+    // online vehicle gets a head, heads head themselves, members partition
+    // the online set — regardless of what the previous round looked like.
+    #[test]
+    fn maintenance_invariants((before, after) in (2usize..24).prop_flat_map(|n| (world_of(n), world_of(n)))) {
+        let cfg = ClusterConfig::multi_hop();
+        let table_before = NeighborTable::build(&before.positions, &before.online, 300.0);
+        let world_before = WorldView {
+            positions: &before.positions,
+            velocities: &before.velocities,
+            online: &before.online,
+            neighbors: &table_before,
+        };
+        let previous = form_clusters(&world_before, &cfg);
+        let table_after = NeighborTable::build(&after.positions, &after.online, 300.0);
+        let world_after = WorldView {
+            positions: &after.positions,
+            velocities: &after.velocities,
+            online: &after.online,
+            neighbors: &table_after,
+        };
+        let next = vc_net::cluster::maintain_clusters(&previous, &world_after, &cfg, 0.5);
+        for i in 0..after.positions.len() {
+            let id = VehicleId(i as u32);
+            match next.head_of(id) {
+                Some(head) => {
+                    prop_assert!(after.online[i]);
+                    prop_assert_eq!(next.head_of(head), Some(head));
+                    prop_assert!(next.members(head).contains(&id));
+                }
+                None => prop_assert!(!after.online[i]),
+            }
+        }
+        let mut assigned: Vec<VehicleId> =
+            next.heads().flat_map(|h| next.members(h).to_vec()).collect();
+        assigned.sort();
+        assigned.dedup();
+        let mut online_ids: Vec<VehicleId> = (0..after.positions.len())
+            .filter(|&i| after.online[i])
+            .map(|i| VehicleId(i as u32))
+            .collect();
+        online_ids.sort();
+        prop_assert_eq!(assigned, online_ids);
+    }
+
+    // Routing safety: protocols only ever forward to actual neighbors that
+    // have not carried the packet, and never to the holder itself.
+    #[test]
+    fn routing_forwards_only_to_fresh_neighbors(w in world_strategy(30), dst_pick in any::<u16>(), carried_mask in any::<u32>()) {
+        let table = NeighborTable::build(&w.positions, &w.online, 300.0);
+        let world = WorldView {
+            positions: &w.positions,
+            velocities: &w.velocities,
+            online: &w.online,
+            neighbors: &table,
+        };
+        let n = w.positions.len();
+        let dst = VehicleId((dst_pick as usize % n) as u32);
+        let packet = Packet::new(PacketId(1), VehicleId(0), dst, 256, SimTime::ZERO);
+        let carried = |v: VehicleId| carried_mask & (1 << (v.0 % 32)) != 0;
+
+        let mut cluster = ClusterRouting::new();
+        cluster.begin_round(&world);
+        let mut mozo = MozoRouting::new();
+        mozo.begin_round(&world);
+        let protocols: Vec<&dyn RoutingProtocol> = vec![&Epidemic, &GreedyGeo, &cluster, &mozo];
+        for proto in protocols {
+            for holder_idx in 0..n {
+                let holder = VehicleId(holder_idx as u32);
+                if !w.online[holder_idx] {
+                    continue;
+                }
+                for hop in proto.next_hops(holder, &packet, &world, &carried) {
+                    prop_assert_ne!(hop, holder, "{} forwarded to self", proto.name());
+                    prop_assert!(
+                        table.of(holder).contains(&hop),
+                        "{} forwarded to non-neighbor", proto.name()
+                    );
+                    prop_assert!(!carried(hop), "{} forwarded to carrier", proto.name());
+                }
+            }
+        }
+    }
+
+    // Single-copy protocols return at most one next hop; epidemic returns
+    // each fresh neighbor exactly once.
+    #[test]
+    fn hop_multiplicity(w in world_strategy(25)) {
+        let table = NeighborTable::build(&w.positions, &w.online, 300.0);
+        let world = WorldView {
+            positions: &w.positions,
+            velocities: &w.velocities,
+            online: &w.online,
+            neighbors: &table,
+        };
+        let n = w.positions.len();
+        let packet = Packet::new(PacketId(1), VehicleId(0), VehicleId((n - 1) as u32), 256, SimTime::ZERO);
+        let never = |_: VehicleId| false;
+        let mut cluster = ClusterRouting::new();
+        cluster.begin_round(&world);
+        let mut mozo = MozoRouting::new();
+        mozo.begin_round(&world);
+        for holder_idx in 0..n {
+            let holder = VehicleId(holder_idx as u32);
+            prop_assert!(GreedyGeo.next_hops(holder, &packet, &world, &never).len() <= 1);
+            prop_assert!(cluster.next_hops(holder, &packet, &world, &never).len() <= 1);
+            prop_assert!(mozo.next_hops(holder, &packet, &world, &never).len() <= 1);
+            let epi = Epidemic.next_hops(holder, &packet, &world, &never);
+            let mut dedup = epi.clone();
+            dedup.sort();
+            dedup.dedup();
+            prop_assert_eq!(dedup.len(), epi.len(), "epidemic duplicated a target");
+        }
+    }
+}

@@ -1,0 +1,396 @@
+//! Road networks: intersections connected by directed road segments.
+//!
+//! Synthetic topologies stand in for the proprietary city traces the VANET
+//! literature evaluates on (see DESIGN.md substitutions): an urban grid, a
+//! highway corridor, and helpers for path finding that the mobility models
+//! drive over.
+
+use crate::geom::Point;
+use crate::rng::SimRng;
+use std::collections::BinaryHeap;
+
+/// Identifier of an intersection in a [`RoadNetwork`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+/// Identifier of a directed road segment in a [`RoadNetwork`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RoadId(pub usize);
+
+/// An intersection: a named point where roads meet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Intersection {
+    /// This intersection's id.
+    pub id: NodeId,
+    /// Position in meters.
+    pub pos: Point,
+}
+
+/// A directed road segment between two intersections.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Road {
+    /// This road's id.
+    pub id: RoadId,
+    /// Start intersection.
+    pub from: NodeId,
+    /// End intersection.
+    pub to: NodeId,
+    /// Free-flow speed limit, m/s.
+    pub speed_limit: f64,
+    /// Number of lanes in this direction.
+    pub lanes: u8,
+}
+
+/// A directed graph of intersections and roads.
+///
+/// ```
+/// use vc_sim::roadnet::RoadNetwork;
+/// let net = RoadNetwork::grid(3, 3, 100.0, 13.9);
+/// assert_eq!(net.intersections().len(), 9);
+/// let path = net.shortest_path(net.intersections()[0].id, net.intersections()[8].id).unwrap();
+/// assert_eq!(path.first(), Some(&net.intersections()[0].id));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RoadNetwork {
+    intersections: Vec<Intersection>,
+    roads: Vec<Road>,
+    /// adjacency[node] = outgoing road ids.
+    adjacency: Vec<Vec<RoadId>>,
+}
+
+impl RoadNetwork {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        RoadNetwork::default()
+    }
+
+    /// Adds an intersection at `pos` and returns its id.
+    pub fn add_intersection(&mut self, pos: Point) -> NodeId {
+        let id = NodeId(self.intersections.len());
+        self.intersections.push(Intersection { id, pos });
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Adds a one-way road and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint does not exist, the endpoints coincide, the
+    /// speed limit is not positive, or `lanes` is zero.
+    pub fn add_road(&mut self, from: NodeId, to: NodeId, speed_limit: f64, lanes: u8) -> RoadId {
+        assert!(from.0 < self.intersections.len(), "unknown from-node");
+        assert!(to.0 < self.intersections.len(), "unknown to-node");
+        assert_ne!(from, to, "self-loop road");
+        assert!(speed_limit > 0.0, "speed limit must be positive");
+        assert!(lanes > 0, "road needs at least one lane");
+        let id = RoadId(self.roads.len());
+        self.roads.push(Road { id, from, to, speed_limit, lanes });
+        self.adjacency[from.0].push(id);
+        id
+    }
+
+    /// Adds a two-way road (one segment per direction); returns both ids.
+    pub fn add_two_way(&mut self, a: NodeId, b: NodeId, speed_limit: f64, lanes: u8) -> (RoadId, RoadId) {
+        (self.add_road(a, b, speed_limit, lanes), self.add_road(b, a, speed_limit, lanes))
+    }
+
+    /// All intersections, indexed by id.
+    pub fn intersections(&self) -> &[Intersection] {
+        &self.intersections
+    }
+
+    /// All roads, indexed by id.
+    pub fn roads(&self) -> &[Road] {
+        &self.roads
+    }
+
+    /// Position of an intersection.
+    pub fn pos(&self, node: NodeId) -> Point {
+        self.intersections[node.0].pos
+    }
+
+    /// The road record for an id.
+    pub fn road(&self, id: RoadId) -> &Road {
+        &self.roads[id.0]
+    }
+
+    /// Length of a road in meters.
+    pub fn road_length(&self, id: RoadId) -> f64 {
+        let r = self.road(id);
+        self.pos(r.from).distance(self.pos(r.to))
+    }
+
+    /// Outgoing roads from a node.
+    pub fn outgoing(&self, node: NodeId) -> &[RoadId] {
+        &self.adjacency[node.0]
+    }
+
+    /// The intersection nearest to `p` (None for an empty network).
+    pub fn nearest_node(&self, p: Point) -> Option<NodeId> {
+        self.intersections
+            .iter()
+            .min_by(|a, b| {
+                a.pos.distance_sq(p).partial_cmp(&b.pos.distance_sq(p)).expect("finite")
+            })
+            .map(|i| i.id)
+    }
+
+    /// A uniformly random intersection (None for an empty network).
+    pub fn random_node(&self, rng: &mut SimRng) -> Option<NodeId> {
+        if self.intersections.is_empty() {
+            None
+        } else {
+            Some(NodeId(rng.index(self.intersections.len())))
+        }
+    }
+
+    /// Shortest path by travel time (Dijkstra). Returns the node sequence
+    /// including both endpoints, or `None` when unreachable.
+    pub fn shortest_path(&self, from: NodeId, to: NodeId) -> Option<Vec<NodeId>> {
+        if from == to {
+            return Some(vec![from]);
+        }
+        let n = self.intersections.len();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev: Vec<Option<NodeId>> = vec![None; n];
+        dist[from.0] = 0.0;
+        // Max-heap on Reverse ordering via negated cost encoded as ordered bits.
+        #[derive(PartialEq)]
+        struct Entry(f64, NodeId);
+        impl Eq for Entry {}
+        impl PartialOrd for Entry {
+            fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(o))
+            }
+        }
+        impl Ord for Entry {
+            fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+                // reversed: smallest cost = greatest priority
+                o.0.partial_cmp(&self.0).expect("finite cost").then(o.1.cmp(&self.1))
+            }
+        }
+        let mut heap = BinaryHeap::new();
+        heap.push(Entry(0.0, from));
+        while let Some(Entry(d, u)) = heap.pop() {
+            if d > dist[u.0] {
+                continue;
+            }
+            if u == to {
+                break;
+            }
+            for &rid in self.outgoing(u) {
+                let road = self.road(rid);
+                let cost = self.road_length(rid) / road.speed_limit;
+                let nd = d + cost;
+                if nd < dist[road.to.0] {
+                    dist[road.to.0] = nd;
+                    prev[road.to.0] = Some(u);
+                    heap.push(Entry(nd, road.to));
+                }
+            }
+        }
+        if dist[to.0].is_infinite() {
+            return None;
+        }
+        let mut path = vec![to];
+        let mut cur = to;
+        while let Some(p) = prev[cur.0] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        debug_assert_eq!(path[0], from);
+        Some(path)
+    }
+
+    /// The road from `a` directly to `b`, if one exists.
+    pub fn road_between(&self, a: NodeId, b: NodeId) -> Option<RoadId> {
+        self.outgoing(a).iter().copied().find(|&rid| self.road(rid).to == b)
+    }
+
+    /// Builds a `cols x rows` Manhattan grid with two-way streets.
+    ///
+    /// `spacing` is the block edge in meters and `speed_limit` applies to all
+    /// streets (13.9 m/s ≈ 50 km/h is the usual urban choice).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn grid(cols: usize, rows: usize, spacing: f64, speed_limit: f64) -> Self {
+        assert!(cols > 0 && rows > 0, "grid must be non-empty");
+        let mut net = RoadNetwork::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                net.add_intersection(Point::new(c as f64 * spacing, r as f64 * spacing));
+            }
+        }
+        let id = |c: usize, r: usize| NodeId(r * cols + c);
+        for r in 0..rows {
+            for c in 0..cols {
+                if c + 1 < cols {
+                    net.add_two_way(id(c, r), id(c + 1, r), speed_limit, 1);
+                }
+                if r + 1 < rows {
+                    net.add_two_way(id(c, r), id(c, r + 1), speed_limit, 1);
+                }
+            }
+        }
+        net
+    }
+
+    /// Builds a straight two-way highway corridor of `length_m` meters with
+    /// `interchanges` evenly spaced nodes (at least 2) and the given limit
+    /// (33.3 m/s ≈ 120 km/h is typical).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interchanges < 2` or `length_m` is not positive.
+    pub fn highway(length_m: f64, interchanges: usize, speed_limit: f64) -> Self {
+        assert!(interchanges >= 2, "highway needs at least two nodes");
+        assert!(length_m > 0.0, "length must be positive");
+        let mut net = RoadNetwork::new();
+        let step = length_m / (interchanges - 1) as f64;
+        for i in 0..interchanges {
+            net.add_intersection(Point::new(i as f64 * step, 0.0));
+        }
+        for i in 0..interchanges - 1 {
+            net.add_two_way(NodeId(i), NodeId(i + 1), speed_limit, 3);
+        }
+        net
+    }
+
+    /// Total length of all road segments (each direction counted once).
+    pub fn total_road_length(&self) -> f64 {
+        self.roads.iter().map(|r| self.road_length(r.id)).sum()
+    }
+
+    /// Distance from `p` to the nearest road centerline, meters
+    /// (`f64::INFINITY` for an empty network). Drives the urban-canyon
+    /// radio obstruction model: points far from every street are "inside a
+    /// building block".
+    pub fn distance_to_nearest_road(&self, p: Point) -> f64 {
+        self.roads
+            .iter()
+            .map(|r| {
+                crate::geom::Segment::new(self.pos(r.from), self.pos(r.to)).distance_to(p)
+            })
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_dimensions() {
+        let net = RoadNetwork::grid(4, 3, 100.0, 13.9);
+        assert_eq!(net.intersections().len(), 12);
+        // Horizontal: 3 per row * 3 rows; vertical: 4 per col-pair * 2 = 8... count:
+        // (cols-1)*rows + cols*(rows-1) two-way pairs = 9 + 8 = 17 pairs = 34 directed.
+        assert_eq!(net.roads().len(), 34);
+    }
+
+    #[test]
+    fn grid_positions_are_spaced() {
+        let net = RoadNetwork::grid(2, 2, 50.0, 10.0);
+        assert_eq!(net.pos(NodeId(0)), Point::new(0.0, 0.0));
+        assert_eq!(net.pos(NodeId(1)), Point::new(50.0, 0.0));
+        assert_eq!(net.pos(NodeId(2)), Point::new(0.0, 50.0));
+    }
+
+    #[test]
+    fn shortest_path_on_grid_is_manhattan() {
+        let net = RoadNetwork::grid(5, 5, 100.0, 10.0);
+        let path = net.shortest_path(NodeId(0), NodeId(24)).unwrap();
+        // 4 east + 4 north hops = 9 nodes.
+        assert_eq!(path.len(), 9);
+        assert_eq!(path[0], NodeId(0));
+        assert_eq!(*path.last().unwrap(), NodeId(24));
+        // Consecutive nodes must be directly connected.
+        for w in path.windows(2) {
+            assert!(net.road_between(w[0], w[1]).is_some());
+        }
+    }
+
+    #[test]
+    fn shortest_path_trivial_and_unreachable() {
+        let mut net = RoadNetwork::new();
+        let a = net.add_intersection(Point::new(0.0, 0.0));
+        let b = net.add_intersection(Point::new(10.0, 0.0));
+        assert_eq!(net.shortest_path(a, a), Some(vec![a]));
+        assert_eq!(net.shortest_path(a, b), None);
+        net.add_road(a, b, 10.0, 1);
+        assert_eq!(net.shortest_path(a, b), Some(vec![a, b]));
+        // Directed: no way back.
+        assert_eq!(net.shortest_path(b, a), None);
+    }
+
+    #[test]
+    fn shortest_path_prefers_fast_roads() {
+        let mut net = RoadNetwork::new();
+        let a = net.add_intersection(Point::new(0.0, 0.0));
+        let mid = net.add_intersection(Point::new(50.0, 50.0));
+        let b = net.add_intersection(Point::new(100.0, 0.0));
+        net.add_road(a, b, 1.0, 1); // direct but very slow: 100s
+        net.add_road(a, mid, 50.0, 1); // detour fast: ~1.41s + 1.41s
+        net.add_road(mid, b, 50.0, 1);
+        let path = net.shortest_path(a, b).unwrap();
+        assert_eq!(path, vec![a, mid, b]);
+    }
+
+    #[test]
+    fn highway_is_a_chain() {
+        let net = RoadNetwork::highway(3000.0, 4, 33.3);
+        assert_eq!(net.intersections().len(), 4);
+        assert_eq!(net.roads().len(), 6);
+        assert!((net.pos(NodeId(3)).x - 3000.0).abs() < 1e-9);
+        let path = net.shortest_path(NodeId(0), NodeId(3)).unwrap();
+        assert_eq!(path.len(), 4);
+    }
+
+    #[test]
+    fn nearest_node() {
+        let net = RoadNetwork::grid(3, 3, 100.0, 10.0);
+        assert_eq!(net.nearest_node(Point::new(95.0, 8.0)), Some(NodeId(1)));
+        assert_eq!(RoadNetwork::new().nearest_node(Point::new(0.0, 0.0)), None);
+    }
+
+    #[test]
+    fn random_node_in_range() {
+        let net = RoadNetwork::grid(3, 3, 100.0, 10.0);
+        let mut rng = SimRng::seed_from(1);
+        for _ in 0..50 {
+            let n = net.random_node(&mut rng).unwrap();
+            assert!(n.0 < 9);
+        }
+        assert_eq!(RoadNetwork::new().random_node(&mut rng), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn self_loop_rejected() {
+        let mut net = RoadNetwork::new();
+        let a = net.add_intersection(Point::new(0.0, 0.0));
+        net.add_road(a, a, 10.0, 1);
+    }
+
+    #[test]
+    fn road_lengths_sum() {
+        let net = RoadNetwork::grid(2, 1, 100.0, 10.0);
+        assert!((net.total_road_length() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distance_to_nearest_road() {
+        let net = RoadNetwork::grid(3, 3, 100.0, 10.0);
+        // On a street.
+        assert!(net.distance_to_nearest_road(Point::new(50.0, 0.0)) < 1e-9);
+        // Center of a block: 50 m from the surrounding streets.
+        assert!((net.distance_to_nearest_road(Point::new(50.0, 50.0)) - 50.0).abs() < 1e-9);
+        // Off-grid point.
+        assert!((net.distance_to_nearest_road(Point::new(-30.0, 0.0)) - 30.0).abs() < 1e-9);
+        assert_eq!(RoadNetwork::new().distance_to_nearest_road(Point::new(0.0, 0.0)), f64::INFINITY);
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests for the simulation substrate.
+
+use proptest::prelude::*;
+use vc_sim::event::EventQueue;
+use vc_sim::geom::{Point, Rect, Segment, SpatialGrid};
+use vc_sim::metrics::Summary;
+use vc_sim::rng::SimRng;
+use vc_sim::time::{SimDuration, SimTime};
+
+fn pt() -> impl Strategy<Value = Point> {
+    (-1e4..1e4, -1e4..1e4).prop_map(|(x, y)| Point::new(x, y))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // ---- time ----
+
+    #[test]
+    fn time_add_sub_roundtrip(base in 0u64..u64::MAX / 4, delta in 0u64..u64::MAX / 4) {
+        let t = SimTime::from_micros(base);
+        let d = SimDuration::from_micros(delta);
+        prop_assert_eq!((t + d) - d, t);
+        prop_assert_eq!((t + d) - t, d);
+    }
+
+    #[test]
+    fn saturating_since_never_panics(a in any::<u64>(), b in any::<u64>()) {
+        let x = SimTime::from_micros(a);
+        let y = SimTime::from_micros(b);
+        let d = x.saturating_since(y);
+        if a >= b {
+            prop_assert_eq!(d.as_micros(), a - b);
+        } else {
+            prop_assert_eq!(d, SimDuration::ZERO);
+        }
+    }
+
+    // ---- geometry ----
+
+    #[test]
+    fn distance_is_a_metric(a in pt(), b in pt(), c in pt()) {
+        prop_assert!((a.distance(b) - b.distance(a)).abs() < 1e-9, "symmetry");
+        prop_assert!(a.distance(a) < 1e-12, "identity");
+        prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-9, "triangle");
+    }
+
+    #[test]
+    fn normalized_is_unit_or_zero(a in pt()) {
+        let n = a.normalized().norm();
+        prop_assert!(n < 1e-12 || (n - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn segment_projection_is_closest(a in pt(), b in pt(), p in pt(), t in 0.0f64..1.0) {
+        let seg = Segment::new(a, b);
+        let best = seg.distance_to(p);
+        let other = seg.at(t).distance(p);
+        prop_assert!(best <= other + 1e-9);
+    }
+
+    #[test]
+    fn rect_clamp_is_inside(a in pt(), b in pt(), p in pt()) {
+        let r = Rect::new(a, b);
+        prop_assert!(r.contains(r.clamp(p)));
+    }
+
+    // ---- spatial grid vs brute force ----
+
+    #[test]
+    fn grid_matches_brute_force(points in proptest::collection::vec(pt(), 1..80),
+                                center in pt(), radius in 1.0f64..500.0) {
+        let mut grid = SpatialGrid::new(100.0);
+        grid.rebuild(points.iter().copied());
+        let mut got = grid.within(center, radius);
+        got.sort();
+        let mut expect: Vec<usize> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.distance(center) < radius)
+            .map(|(i, _)| i)
+            .collect();
+        expect.sort();
+        prop_assert_eq!(got, expect);
+    }
+
+    // ---- rng ----
+
+    #[test]
+    fn rng_range_respects_bounds(seed in any::<u64>(), lo in 0u64..1000, span in 1u64..1000) {
+        let mut rng = SimRng::seed_from(seed);
+        for _ in 0..50 {
+            let x = rng.range_u64(lo, lo + span);
+            prop_assert!(x >= lo && x < lo + span);
+        }
+    }
+
+    #[test]
+    fn rng_shuffle_is_permutation(seed in any::<u64>(), n in 1usize..50) {
+        let mut rng = SimRng::seed_from(seed);
+        let mut v: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+    }
+
+    // ---- event queue ordering ----
+
+    #[test]
+    fn events_always_pop_ordered(times in proptest::collection::vec(0u64..10_000, 1..64)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_micros(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut popped = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    #[test]
+    fn equal_times_fifo(n in 1usize..40) {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..n {
+            q.schedule(t, i);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        prop_assert_eq!(order, (0..n).collect::<Vec<_>>());
+    }
+
+    // ---- metrics ----
+
+    #[test]
+    fn summary_percentiles_are_monotone(xs in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+        let mut s = Summary::new();
+        for &x in &xs {
+            s.record(x);
+        }
+        let p25 = s.percentile(0.25);
+        let p50 = s.percentile(0.5);
+        let p99 = s.percentile(0.99);
+        prop_assert!(p25 <= p50 && p50 <= p99);
+        prop_assert!(s.min() <= p25 && p99 <= s.max());
+        prop_assert!(s.mean() >= s.min() - 1e-9 && s.mean() <= s.max() + 1e-9);
+    }
+}

@@ -1,0 +1,163 @@
+//! The message classifier (paper §V-D component 1).
+//!
+//! "A message classifier module needs to be designed to identify messages
+//! belonging to the same event": reports are grouped when they share an
+//! event kind and fall within a spatial radius and temporal window of an
+//! existing cluster. Greedy, single-pass, deterministic — a vehicle runs
+//! this on the fly over its message inbox.
+
+use crate::report::{EventCluster, Report};
+use vc_sim::time::SimDuration;
+
+/// Classifier parameters.
+#[derive(Debug, Clone)]
+pub struct ClassifierConfig {
+    /// Reports within this distance of a cluster's centroid may join it.
+    pub radius_m: f64,
+    /// Reports within this window of the cluster's earliest observation may
+    /// join it.
+    pub window: SimDuration,
+}
+
+impl Default for ClassifierConfig {
+    fn default() -> Self {
+        ClassifierConfig { radius_m: 150.0, window: SimDuration::from_secs(60) }
+    }
+}
+
+/// Groups `reports` into per-event clusters.
+///
+/// Reports are processed in observation-time order; each joins the first
+/// cluster of the same kind within radius and window, else founds a new one.
+pub fn classify(reports: &[Report], config: &ClassifierConfig) -> Vec<EventCluster> {
+    let mut ordered: Vec<&Report> = reports.iter().collect();
+    ordered.sort_by_key(|r| (r.observed_at, r.reporter));
+    let mut clusters: Vec<EventCluster> = Vec::new();
+    for report in ordered {
+        let mut joined = false;
+        for cluster in &mut clusters {
+            if cluster.kind() != Some(report.kind) {
+                continue;
+            }
+            let centroid = cluster.centroid();
+            if centroid.distance(report.location) > config.radius_m {
+                continue;
+            }
+            let earliest = cluster
+                .reports
+                .iter()
+                .map(|r| r.observed_at)
+                .min()
+                .expect("cluster non-empty");
+            if report.observed_at.saturating_since(earliest) > config.window {
+                continue;
+            }
+            cluster.reports.push(report.clone());
+            joined = true;
+            break;
+        }
+        if !joined {
+            clusters.push(EventCluster { reports: vec![report.clone()] });
+        }
+    }
+    clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::EventKind;
+    use vc_sim::geom::Point;
+    use vc_sim::node::VehicleId;
+    use vc_sim::time::SimTime;
+
+    fn report(kind: EventKind, x: f64, t: u64, reporter: u64) -> Report {
+        Report {
+            reporter,
+            kind,
+            location: Point::new(x, 0.0),
+            observed_at: SimTime::from_secs(t),
+            claim: true,
+            reporter_pos: Point::new(x, 10.0),
+            reporter_speed: 5.0,
+            path: vec![VehicleId(reporter as u32)],
+        }
+    }
+
+    #[test]
+    fn same_place_same_kind_groups() {
+        let reports = vec![
+            report(EventKind::Ice, 0.0, 10, 1),
+            report(EventKind::Ice, 30.0, 12, 2),
+            report(EventKind::Ice, 60.0, 14, 3),
+        ];
+        let clusters = classify(&reports, &ClassifierConfig::default());
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].len(), 3);
+    }
+
+    #[test]
+    fn different_kinds_split() {
+        let reports = vec![
+            report(EventKind::Ice, 0.0, 10, 1),
+            report(EventKind::Accident, 0.0, 10, 2),
+        ];
+        let clusters = classify(&reports, &ClassifierConfig::default());
+        assert_eq!(clusters.len(), 2);
+    }
+
+    #[test]
+    fn distant_events_split() {
+        let reports = vec![
+            report(EventKind::Ice, 0.0, 10, 1),
+            report(EventKind::Ice, 5000.0, 10, 2),
+        ];
+        let clusters = classify(&reports, &ClassifierConfig::default());
+        assert_eq!(clusters.len(), 2);
+    }
+
+    #[test]
+    fn stale_reports_split_in_time() {
+        let reports = vec![
+            report(EventKind::Congestion, 0.0, 10, 1),
+            report(EventKind::Congestion, 0.0, 500, 2),
+        ];
+        let clusters = classify(&reports, &ClassifierConfig::default());
+        assert_eq!(clusters.len(), 2, "an hour-old congestion is a new event");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(classify(&[], &ClassifierConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn deterministic_regardless_of_input_order() {
+        let mut reports = vec![
+            report(EventKind::Ice, 0.0, 10, 1),
+            report(EventKind::Ice, 40.0, 11, 2),
+            report(EventKind::Accident, 500.0, 12, 3),
+            report(EventKind::Ice, 80.0, 13, 4),
+        ];
+        let a = classify(&reports, &ClassifierConfig::default());
+        reports.reverse();
+        let b = classify(&reports, &ClassifierConfig::default());
+        assert_eq!(a.len(), b.len());
+        let mut sizes_a: Vec<usize> = a.iter().map(|c| c.len()).collect();
+        let mut sizes_b: Vec<usize> = b.iter().map(|c| c.len()).collect();
+        sizes_a.sort();
+        sizes_b.sort();
+        assert_eq!(sizes_a, sizes_b);
+    }
+
+    #[test]
+    fn drifting_centroid_still_bounded() {
+        // A chain of reports each 100m apart: the first two group (within
+        // 150m), but the chain cannot extend unboundedly because joining is
+        // against the centroid.
+        let reports: Vec<Report> =
+            (0..6).map(|i| report(EventKind::Ice, i as f64 * 100.0, 10 + i, i)).collect();
+        let clusters = classify(&reports, &ClassifierConfig::default());
+        assert!(clusters.len() >= 2, "chain must eventually split, got {}", clusters.len());
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests for trust validators and the classifier.
+
+use proptest::prelude::*;
+use vc_sim::geom::Point;
+use vc_sim::node::VehicleId;
+use vc_sim::time::SimTime;
+use vc_trust::prelude::*;
+
+fn report_strategy() -> impl Strategy<Value = Report> {
+    (
+        any::<u64>(),
+        any::<bool>(),
+        -100.0f64..100.0,
+        -100.0f64..100.0,
+        0.0f64..40.0,
+        proptest::collection::vec(any::<u8>(), 0..4),
+        0u64..100,
+    )
+        .prop_map(|(reporter, claim, x, y, speed, path, t)| Report {
+            reporter,
+            kind: EventKind::Ice,
+            location: Point::new(x, y),
+            observed_at: SimTime::from_secs(t),
+            claim,
+            reporter_pos: Point::new(x + 10.0, y),
+            reporter_speed: speed,
+            path: path.into_iter().map(|p| VehicleId(p as u32)).collect(),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // Scores stay in [0,1] for every validator over arbitrary clusters and
+    // arbitrary reputation histories.
+    #[test]
+    fn scores_bounded(
+        reports in proptest::collection::vec(report_strategy(), 0..30),
+        history in proptest::collection::vec((any::<u64>(), any::<bool>()), 0..50),
+    ) {
+        let mut rep = ReputationStore::new();
+        for (who, ok) in history {
+            rep.record(who, ok);
+        }
+        let cluster = EventCluster { reports };
+        for v in all_validators() {
+            let s = v.score(&cluster, &rep);
+            prop_assert!((0.0..=1.0).contains(&s), "{} scored {}", v.name(), s);
+            prop_assert!(s.is_finite());
+        }
+    }
+
+    // Unanimous agreement from plausible reporters always wins every
+    // validator's vote in the claimed direction.
+    #[test]
+    fn unanimity_decides(claim in any::<bool>(), n in 1usize..15) {
+        let reports: Vec<Report> = (0..n as u64)
+            .map(|r| Report {
+                reporter: r,
+                kind: EventKind::Accident,
+                location: Point::new(0.0, 0.0),
+                observed_at: SimTime::from_secs(1),
+                claim,
+                reporter_pos: Point::new(15.0, 0.0),
+                reporter_speed: 10.0,
+                path: vec![VehicleId(r as u32)],
+            })
+            .collect();
+        let mut rep = ReputationStore::new();
+        for r in 0..n as u64 {
+            for _ in 0..3 {
+                rep.record(r, true);
+            }
+        }
+        let cluster = EventCluster { reports };
+        for v in all_validators() {
+            prop_assert_eq!(v.decide(&cluster, &rep), claim, "{} disagreed with unanimity", v.name());
+        }
+    }
+
+    // Adding a confirming report from a fresh, plausible, path-independent
+    // reporter never decreases the majority or weighted score: a positive
+    // vote can only pull the mean up.
+    #[test]
+    fn confirmation_is_monotone_for_votes(base in proptest::collection::vec(report_strategy(), 1..15), extra_id in 5000u64..6000) {
+        let rep = ReputationStore::new();
+        let cluster = EventCluster { reports: base.clone() };
+        let maj_before = MajorityVote.score(&cluster, &rep);
+        let w_before = WeightedVote.score(&cluster, &rep);
+        let mut extended = base;
+        extended.push(Report {
+            reporter: extra_id,
+            kind: EventKind::Ice,
+            location: Point::new(0.0, 0.0),
+            observed_at: SimTime::from_secs(1),
+            claim: true,
+            reporter_pos: Point::new(5.0, 0.0),
+            reporter_speed: 10.0,
+            path: vec![VehicleId(999_999)],
+        });
+        let cluster2 = EventCluster { reports: extended };
+        prop_assert!(MajorityVote.score(&cluster2, &rep) + 1e-12 >= maj_before);
+        prop_assert!(WeightedVote.score(&cluster2, &rep) + 1e-9 >= w_before);
+    }
+
+    // The classifier never merges different event kinds and never loses or
+    // duplicates reports.
+    #[test]
+    fn classifier_partitions(reports in proptest::collection::vec(report_strategy(), 0..40)) {
+        let clusters = classify(&reports, &ClassifierConfig::default());
+        let total: usize = clusters.iter().map(|c| c.len()).sum();
+        prop_assert_eq!(total, reports.len(), "reports lost or duplicated");
+        for c in &clusters {
+            prop_assert!(!c.is_empty());
+            let kind = c.kind().unwrap();
+            prop_assert!(c.reports.iter().all(|r| r.kind == kind));
+        }
+    }
+
+    // Reputation: reliability is monotone in good outcomes and bounded.
+    #[test]
+    fn reputation_monotone(goods in 0u32..40, bads in 0u32..40) {
+        let mut store = ReputationStore::new();
+        for _ in 0..goods {
+            store.record(1, true);
+        }
+        for _ in 0..bads {
+            store.record(1, false);
+        }
+        let r = store.reliability(1);
+        prop_assert!(r > 0.0 && r < 1.0);
+        store.record(1, true);
+        prop_assert!(store.reliability(1) >= r);
+    }
+
+    // Path overlap is a similarity: symmetric, bounded, reflexive-on-nonempty.
+    #[test]
+    fn path_overlap_is_similarity(a in report_strategy(), b in report_strategy()) {
+        let ab = path_overlap(&a, &b);
+        let ba = path_overlap(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&ab));
+        if !a.path.is_empty() {
+            prop_assert_eq!(path_overlap(&a, &a), 1.0);
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Highway resource lending, end to end with the extension modules: two
+//! strangers meet on the highway, authenticate each other and agree a
+//! session key in one round trip (pure V2V), exchange signed beacons, lend
+//! compute with *verified* execution, settle in transferable credit notes,
+//! and hand over the encrypted checkpoint when the lender exits.
+//!
+//! ```text
+//! cargo run --example highway_lending
+//! ```
+
+use std::collections::BTreeMap;
+use vcloud::auth::handshake::{respond, Initiator};
+use vcloud::auth::identity::{RealIdentity, TrustedAuthority};
+use vcloud::auth::pseudonym::PseudonymRegistry;
+use vcloud::cloud::handover::{open_checkpoint, seal_checkpoint, Checkpoint};
+use vcloud::cloud::incentive::{transfer, CreditBank};
+use vcloud::cloud::verify::{adjudicate, Adjudication, ResultReceipt};
+use vcloud::crypto::chacha20::{open as aead_open, seal as aead_seal};
+use vcloud::crypto::dh::EphemeralSecret;
+use vcloud::crypto::schnorr::SigningKey;
+use vcloud::net::beacon::{sign_beacon, Beacon, BeaconStore};
+use vcloud::prelude::*;
+
+fn main() {
+    println!("== highway resource lending ==\n");
+    let mut ta = TrustedAuthority::new(b"root-ta");
+    let mut registry = PseudonymRegistry::new();
+    let now = SimTime::from_secs(100);
+
+    // Registration (offline, at the DMV).
+    let mut wallets = Vec::new();
+    for v in 0..2u32 {
+        let id = RealIdentity::for_vehicle(VehicleId(v));
+        ta.register(id.clone(), VehicleId(v));
+        wallets.push(
+            registry
+                .issue_wallet(&ta, &id, 8, SimTime::ZERO, SimTime::from_secs(86_400), &v.to_be_bytes())
+                .expect("wallet"),
+        );
+    }
+    let (requester_wallet, lender_wallet) = (wallets.remove(0), wallets.remove(0));
+
+    // 1. One-round-trip mutual authentication + key agreement (no RSU).
+    let (init, hello) = Initiator::hello(&requester_wallet, now, 0xAA);
+    let window = SimDuration::from_secs(5);
+    let (lender_key, accept) =
+        respond(&hello, &lender_wallet, &ta.public_key(), registry.crl(), now, window, 0xBB)
+            .expect("lender authenticates requester");
+    let requester_key = init
+        .finish(&accept, &ta.public_key(), registry.crl(), now, window)
+        .expect("requester authenticates lender");
+    assert_eq!(requester_key.0, lender_key.0);
+    println!("handshake: mutual pseudonym auth + session key in one round trip");
+
+    // 2. Signed beacons establish verified kinematics.
+    let lender_beacon_key = SigningKey::from_seed(b"lender-beacon");
+    let beacon = Beacon {
+        sender: VehicleId(1),
+        pos: Point::new(120.0, 3.5),
+        vel: Point::new(31.0, 0.0),
+        sent_at: now,
+    };
+    let mut store = BeaconStore::new(SimDuration::from_secs(1));
+    store
+        .ingest(&sign_beacon(beacon, &lender_beacon_key), &lender_beacon_key.verifying_key(), now)
+        .expect("verified beacon");
+    println!(
+        "beaconing: lender verified at {} doing {:.0} m/s",
+        store.beacon_of(VehicleId(1)).unwrap().pos,
+        store.beacon_of(VehicleId(1)).unwrap().vel.norm()
+    );
+
+    // 3. Ship the task input encrypted under the session key.
+    let task_input = b"lane-merge optimization problem, 600 GFLOP";
+    let sealed_input = aead_seal(&requester_key.0, &[1u8; 12], task_input);
+    let received = aead_open(&lender_key.0, &[1u8; 12], &sealed_input).expect("lender decrypts");
+    println!("task shipped: {} encrypted bytes", sealed_input.len());
+
+    // 4. Verified execution: the lender plus two corroborating platoon
+    //    members return signed result receipts; the requester adjudicates.
+    let host_keys: Vec<SigningKey> =
+        (0..3).map(|i| SigningKey::from_seed(&[i as u8, 0x77])).collect();
+    let directory: BTreeMap<VehicleId, _> = host_keys
+        .iter()
+        .enumerate()
+        .map(|(i, k)| (VehicleId(i as u32 + 1), k.verifying_key()))
+        .collect();
+    let result_payload = [&received[..], b" -> merge at t+4.2s"].concat();
+    let receipts: Vec<ResultReceipt> = host_keys
+        .iter()
+        .enumerate()
+        .map(|(i, k)| ResultReceipt::sign(1, VehicleId(i as u32 + 1), &result_payload, now, k))
+        .collect();
+    match adjudicate(&receipts, &directory) {
+        Adjudication::Accepted { dissenters, .. } => {
+            println!("verified execution: 3/3 hosts agree, {} dissenters", dissenters.len());
+        }
+        Adjudication::Inconclusive => unreachable!("honest hosts agree"),
+    }
+
+    // 5. Payment: the bank issues a credit note to the lender's pseudonym;
+    //    the lender endorses it to a FRESH pseudonym before redeeming, so
+    //    earn and spend are unlinkable.
+    let mut bank = CreditBank::new(b"credit-bank");
+    let earn_key = SigningKey::from_seed(b"lender-earn-pseudonym");
+    let spend_key = SigningKey::from_seed(b"lender-spend-pseudonym");
+    let note = bank.issue(earn_key.verifying_key(), 60, vcloud::auth::pseudonym::PseudonymId(9));
+    let moved = transfer(&note, &earn_key, spend_key.verifying_key()).expect("endorse");
+    let credited = bank.redeem(&moved).expect("redeem");
+    println!("incentive: {credited} credits earned under one pseudonym, redeemed under another");
+
+    // 6. The lender's exit approaches: encrypted checkpoint handover to a
+    //    successor host.
+    let successor_secret = EphemeralSecret::from_seed(b"successor-longterm");
+    let checkpoint = Checkpoint { task: TaskId(1), done_gflop: 480.0, state: result_payload };
+    let sealed =
+        seal_checkpoint(&checkpoint, VehicleId(1), VehicleId(5), &successor_secret.public_share(), 7);
+    let resumed = open_checkpoint(&sealed, &successor_secret).expect("successor opens");
+    println!(
+        "handover: {:.0}/600 GFLOP checkpointed over {} encrypted bytes; successor resumes",
+        resumed.done_gflop,
+        sealed.wire_len()
+    );
+    println!("\nlending scenario complete.");
+}

@@ -1,0 +1,122 @@
+//! Secure content sharing with sticky policies (paper §V-C): a vehicle
+//! shares sensor archives into the v-cloud inside data-policy packages.
+//! The policy travels with the data; tamper-proof devices enforce it on
+//! whatever vehicle holds a replica; every access — grant or deny — lands
+//! in the tamper-evident audit chain; and trust validation screens incoming
+//! hazard reports before they trigger action.
+//!
+//! ```text
+//! cargo run --example secure_content_sharing
+//! ```
+
+use vcloud::access::policy::{Action, Context, Expr, Policy, Role};
+use vcloud::access::prelude::{Attributes, DataPackage};
+use vcloud::auth::token::ServiceId;
+use vcloud::cloud::prelude::*;
+use vcloud::crypto::schnorr::SigningKey;
+use vcloud::prelude::{EventKind, Point, Report, SaeLevel, SimTime, VehicleId};
+
+fn main() {
+    println!("== secure content sharing ==\n");
+    let mut pipeline = SecurePipeline::new(b"sharing-domain");
+    let now = SimTime::from_secs(100);
+
+    // Provision three vehicles with different certified roles.
+    let storage_attrs = Attributes {
+        role: Role::Storage,
+        automation: SaeLevel::L4,
+        storage_provider: true,
+        compute_provider: false,
+    };
+    let member_attrs = Attributes {
+        role: Role::Member,
+        automation: SaeLevel::L2,
+        storage_provider: false,
+        compute_provider: false,
+    };
+    let archivist = pipeline.provision(VehicleId(1), storage_attrs, now).expect("provision");
+    let bystander = pipeline.provision(VehicleId(2), member_attrs, now).expect("provision");
+
+    // The owner seals a dash-cam archive: readable only by Storage-role
+    // vehicles inside the depot region; anyone may read during an emergency.
+    let owner = SigningKey::from_seed(b"owner-vehicle");
+    let depot = vcloud::prelude::Rect::new(Point::new(0.0, 0.0), Point::new(500.0, 500.0));
+    let policy = Policy::new()
+        .allow(
+            Action::Read,
+            Expr::HasRole(Role::Storage).and(Expr::WithinRegion(depot)),
+        )
+        .allow_in_emergency(Action::Read, Expr::AutomationAtLeast(SaeLevel::L2));
+    let mut package = DataPackage::seal_new(
+        77,
+        b"dashcam footage: intersection collision 09:41",
+        policy,
+        &owner,
+        &pipeline.tpd_share(),
+        12345,
+    );
+    println!("owner sealed {} ciphertext bytes under a role+region policy", package.ciphertext_len());
+
+    // Admission for both vehicles.
+    let tok_a = pipeline
+        .admit(&archivist.wallet.sign(b"hello", now), ServiceId(9), now)
+        .expect("admit archivist");
+    let tok_b = pipeline
+        .admit(&bystander.wallet.sign(b"hello", now), ServiceId(9), now)
+        .expect("admit bystander");
+
+    // The archivist reads from inside the depot: permitted.
+    let ctx_in = Context::member_at(Point::new(100.0, 100.0), now);
+    let proof_a = SecurePipeline::make_proof(&archivist, 77, now);
+    let data = pipeline
+        .authorize(&mut package, Action::Read, &tok_a, ServiceId(9), &proof_a, &ctx_in)
+        .expect("archivist read");
+    println!("archivist (Storage, in depot): read {} bytes — PERMIT", data.len());
+
+    // The bystander tries: denied (wrong certified role), but audited.
+    let proof_b = SecurePipeline::make_proof(&bystander, 77, now);
+    let denied = pipeline
+        .authorize(&mut package, Action::Read, &tok_b, ServiceId(9), &proof_b, &ctx_in)
+        .unwrap_err();
+    println!("bystander (Member): {denied} — DENY (audited)");
+
+    // Emergency flips the context: the bystander now gets escalated access.
+    let mut crisis = ctx_in.clone();
+    crisis.emergency = true;
+    let data = pipeline
+        .authorize(&mut package, Action::Read, &tok_b, ServiceId(9), &proof_b, &crisis)
+        .expect("emergency escalation");
+    println!("bystander in EMERGENCY: read {} bytes — PERMIT (escalated)", data.len());
+
+    println!("\naudit chain ({} records):", package.audit.len());
+    for r in package.audit.records() {
+        println!("  t={} who={:?} action={:?} -> {:?}", r.at, r.who, r.action, r.decision);
+    }
+    assert!(package.audit.verify(None), "audit chain intact");
+
+    // Before acting on the footage's claims, validate corroborating hazard
+    // reports through the trust stack.
+    for r in 0..4u64 {
+        pipeline.record_outcome(r, true); // corroborators have good history
+    }
+    let reports: Vec<Report> = (0..5)
+        .map(|i| Report {
+            reporter: i,
+            kind: EventKind::Accident,
+            location: Point::new(120.0, 95.0),
+            observed_at: now,
+            claim: i < 4, // one dissenter
+            reporter_pos: Point::new(110.0, 100.0),
+            reporter_speed: 8.0,
+            path: vec![VehicleId(i as u32)],
+        })
+        .collect();
+    let verdicts = pipeline.validate_reports(&reports);
+    for (event, score, decision) in verdicts {
+        println!(
+            "\ntrust verdict for event #{event}: score {score:.2} -> {}",
+            if decision { "TRUSTED — reroute traffic" } else { "REJECTED" }
+        );
+    }
+    println!("\nsharing scenario complete.");
+}

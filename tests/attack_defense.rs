@@ -1,0 +1,81 @@
+//! Integration: the §III threat list against the real protocol stack.
+
+use vcloud::attacks::prelude::*;
+use vcloud::prelude::SimRng;
+
+#[test]
+fn crypto_attacks_are_eliminated_by_defenses() {
+    let mut rng = SimRng::seed_from(0xA77AC);
+    let cases: Vec<(&str, AttackOutcome, AttackOutcome)> = vec![
+        (
+            "replay",
+            replay_attack(Defense::Off, 60, &mut rng),
+            replay_attack(Defense::On, 60, &mut rng),
+        ),
+        (
+            "impersonation",
+            impersonation_attack(Defense::Off, 60),
+            impersonation_attack(Defense::On, 60),
+        ),
+        (
+            "mitm",
+            mitm_tamper_attack(Defense::Off, 60, &mut rng),
+            mitm_tamper_attack(Defense::On, 60, &mut rng),
+        ),
+        (
+            "eavesdrop",
+            eavesdrop_attack(Defense::Off, 60, &mut rng),
+            eavesdrop_attack(Defense::On, 60, &mut rng),
+        ),
+        (
+            "dos",
+            dos_flood_attack(Defense::Off, 60, &mut rng),
+            dos_flood_attack(Defense::On, 60, &mut rng),
+        ),
+    ];
+    for (name, off, on) in cases {
+        assert!(off.rate() > 0.9, "{name}: undefended baseline should be wide open, got {off}");
+        assert_eq!(on.successes, 0, "{name}: defended stack must block all attempts, got {on}");
+    }
+}
+
+#[test]
+fn statistical_attacks_are_mitigated_not_eliminated() {
+    let mut rng = SimRng::seed_from(0xBEEF);
+    let sup_off = suppression_attack(Defense::Off, 0.25, 1500, &mut rng);
+    let sup_on = suppression_attack(Defense::On, 0.25, 1500, &mut rng);
+    assert!(sup_on.rate() < sup_off.rate() / 2.0);
+    assert!(sup_on.rate() > 0.0, "suppression cannot be fully eliminated by redundancy");
+
+    let track_static = tracking_accuracy(IdScheme::StaticPseudonym, 40, 15, &mut rng);
+    let track_rotating = tracking_accuracy(IdScheme::RotatingPseudonym { period: 3 }, 40, 15, &mut rng);
+    let track_group = tracking_accuracy(IdScheme::GroupAnonymous, 40, 15, &mut rng);
+    assert_eq!(track_static, 1.0);
+    assert!(track_rotating < 1.0);
+    assert!(track_group <= track_rotating + 0.05);
+    assert!(track_group > 0.0, "spatial continuity always leaks something");
+}
+
+#[test]
+fn sybil_and_false_data_vs_trust_stack() {
+    let mut rng = SimRng::seed_from(0xCAFE);
+    let sybil_off = sybil_attack(Defense::Off, 15, 10, 80, &mut rng);
+    let sybil_on = sybil_attack(Defense::On, 15, 10, 80, &mut rng);
+    assert!(sybil_off.rate() > 0.7, "sybil majority fools naive voting: {sybil_off}");
+    assert!(sybil_on.rate() < 0.3, "path weighting collapses sybils: {sybil_on}");
+
+    let fd_off = false_data_attack(Defense::Off, 0.55, 10, 80, &mut rng);
+    let fd_on = false_data_attack(Defense::On, 0.55, 10, 80, &mut rng);
+    assert!(fd_on.rate() < fd_off.rate(), "reputation weighting must help");
+}
+
+#[test]
+fn attack_outcomes_are_deterministic_given_seed() {
+    let run = |seed: u64| {
+        let mut rng = SimRng::seed_from(seed);
+        let a = replay_attack(Defense::On, 30, &mut rng);
+        let b = suppression_attack(Defense::On, 0.2, 200, &mut rng);
+        (a.successes, a.attempts, b.successes)
+    };
+    assert_eq!(run(5), run(5));
+}
