@@ -44,7 +44,13 @@ fn decision_byte(d: Decision) -> u8 {
     }
 }
 
-fn record_hash(at: SimTime, who: PseudonymId, action: Action, decision: Decision, prev: &Digest) -> Digest {
+fn record_hash(
+    at: SimTime,
+    who: PseudonymId,
+    action: Action,
+    decision: Decision,
+    prev: &Digest,
+) -> Digest {
     sha256_parts(&[
         b"vc-audit",
         &at.as_micros().to_be_bytes(),

@@ -130,7 +130,8 @@ pub fn verify_possession(
     if now > cred.valid_until {
         return None;
     }
-    let body = AttributeCredential::signed_bytes(&cred.attributes, &cred.subject_key, cred.valid_until);
+    let body =
+        AttributeCredential::signed_bytes(&cred.attributes, &cred.subject_key, cred.valid_until);
     if !issuer_key.verify(&body, &cred.issuer_signature) {
         return None;
     }
@@ -164,7 +165,12 @@ mod tests {
     fn prove_and_verify() {
         let (issuer, subject, cred) = setup();
         let proof = prove_possession(&cred, &subject, b"challenge-123");
-        let got = verify_possession(&proof, &issuer.public_key(), b"challenge-123", SimTime::from_secs(10));
+        let got = verify_possession(
+            &proof,
+            &issuer.public_key(),
+            b"challenge-123",
+            SimTime::from_secs(10),
+        );
         assert_eq!(got, Some(attrs()));
     }
 
@@ -210,7 +216,10 @@ mod tests {
             SimTime::from_secs(1000),
         );
         let proof = prove_possession(&forged, &subject, b"c");
-        assert_eq!(verify_possession(&proof, &issuer.public_key(), b"c", SimTime::from_secs(1)), None);
+        assert_eq!(
+            verify_possession(&proof, &issuer.public_key(), b"c", SimTime::from_secs(1)),
+            None
+        );
     }
 
     #[test]
@@ -218,6 +227,9 @@ mod tests {
         let (issuer, subject, mut cred) = setup();
         cred.attributes.role = Role::Head;
         let proof = prove_possession(&cred, &subject, b"c");
-        assert_eq!(verify_possession(&proof, &issuer.public_key(), b"c", SimTime::from_secs(1)), None);
+        assert_eq!(
+            verify_possession(&proof, &issuer.public_key(), b"c", SimTime::from_secs(1)),
+            None
+        );
     }
 }

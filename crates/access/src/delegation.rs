@@ -210,7 +210,8 @@ mod tests {
         let (owner, alice, _) = keys();
         let g = grant(&owner, 7, alice.verifying_key(), vec![Action::Read], 2, far());
         let chain = DelegationChain { grants: vec![g] };
-        let actions = verify_chain(&chain, &owner.verifying_key(), 7, SimTime::from_secs(1)).unwrap();
+        let actions =
+            verify_chain(&chain, &owner.verifying_key(), 7, SimTime::from_secs(1)).unwrap();
         assert_eq!(actions, vec![Action::Read]);
     }
 
@@ -227,14 +228,16 @@ mod tests {
         );
         let g2 = grant(&alice, 7, bob.verifying_key(), vec![Action::Read], 1, far());
         let chain = DelegationChain { grants: vec![g1, g2] };
-        let actions = verify_chain(&chain, &owner.verifying_key(), 7, SimTime::from_secs(1)).unwrap();
+        let actions =
+            verify_chain(&chain, &owner.verifying_key(), 7, SimTime::from_secs(1)).unwrap();
         assert_eq!(actions, vec![Action::Read], "bob holds only what alice passed");
     }
 
     #[test]
     fn action_escalation_rejected() {
         let (owner, alice, bob) = keys();
-        let g1 = grant(&owner, 7, alice.verifying_key(), vec![Action::Read, Action::Delegate], 2, far());
+        let g1 =
+            grant(&owner, 7, alice.verifying_key(), vec![Action::Read, Action::Delegate], 2, far());
         // Alice tries to grant Write, which she never held.
         let g2 = grant(&alice, 7, bob.verifying_key(), vec![Action::Write], 1, far());
         let chain = DelegationChain { grants: vec![g1, g2] };
@@ -261,8 +264,10 @@ mod tests {
     fn depth_budget_enforced() {
         let (owner, alice, bob) = keys();
         let carol = SigningKey::from_seed(b"carol");
-        let g1 = grant(&owner, 7, alice.verifying_key(), vec![Action::Read, Action::Delegate], 1, far());
-        let g2 = grant(&alice, 7, bob.verifying_key(), vec![Action::Read, Action::Delegate], 0, far());
+        let g1 =
+            grant(&owner, 7, alice.verifying_key(), vec![Action::Read, Action::Delegate], 1, far());
+        let g2 =
+            grant(&alice, 7, bob.verifying_key(), vec![Action::Read, Action::Delegate], 0, far());
         let g3 = grant(&bob, 7, carol.verifying_key(), vec![Action::Read], 0, far());
         let chain = DelegationChain { grants: vec![g1, g2, g3] };
         assert_eq!(
@@ -274,7 +279,8 @@ mod tests {
     #[test]
     fn non_decreasing_depth_rejected() {
         let (owner, alice, bob) = keys();
-        let g1 = grant(&owner, 7, alice.verifying_key(), vec![Action::Read, Action::Delegate], 1, far());
+        let g1 =
+            grant(&owner, 7, alice.verifying_key(), vec![Action::Read, Action::Delegate], 1, far());
         // Alice claims MORE depth than she was given.
         let g2 = grant(&alice, 7, bob.verifying_key(), vec![Action::Read], 5, far());
         let chain = DelegationChain { grants: vec![g1, g2] };
@@ -287,7 +293,8 @@ mod tests {
     #[test]
     fn expired_link_rejected() {
         let (owner, alice, _) = keys();
-        let g = grant(&owner, 7, alice.verifying_key(), vec![Action::Read], 1, SimTime::from_secs(5));
+        let g =
+            grant(&owner, 7, alice.verifying_key(), vec![Action::Read], 1, SimTime::from_secs(5));
         let chain = DelegationChain { grants: vec![g] };
         assert_eq!(
             verify_chain(&chain, &owner.verifying_key(), 7, SimTime::from_secs(6)),
@@ -318,7 +325,12 @@ mod tests {
             Err(DelegationError::WrongPackage)
         );
         assert_eq!(
-            verify_chain(&DelegationChain::default(), &owner.verifying_key(), 7, SimTime::from_secs(1)),
+            verify_chain(
+                &DelegationChain::default(),
+                &owner.verifying_key(),
+                7,
+                SimTime::from_secs(1)
+            ),
             Err(DelegationError::Empty)
         );
     }

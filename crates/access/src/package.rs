@@ -238,7 +238,14 @@ mod tests {
         let (mut s, proof, ctx) = setup_with_policy(policy, storage_attrs());
         let out = s
             .tpd
-            .request_access(&mut s.package, Action::Read, &proof, &s.issuer.public_key(), &ctx, PseudonymId(1))
+            .request_access(
+                &mut s.package,
+                Action::Read,
+                &proof,
+                &s.issuer.public_key(),
+                &ctx,
+                PseudonymId(1),
+            )
             .unwrap();
         assert_eq!(out, b"sensor archive");
         assert_eq!(s.package.audit.len(), 1);
@@ -252,7 +259,14 @@ mod tests {
         let (mut s, proof, ctx) = setup_with_policy(policy, storage_attrs());
         let err = s
             .tpd
-            .request_access(&mut s.package, Action::Read, &proof, &s.issuer.public_key(), &ctx, PseudonymId(1))
+            .request_access(
+                &mut s.package,
+                Action::Read,
+                &proof,
+                &s.issuer.public_key(),
+                &ctx,
+                PseudonymId(1),
+            )
             .unwrap_err();
         assert_eq!(err, AccessError::Denied);
         assert_eq!(s.package.audit.len(), 1, "denial still logged");
@@ -268,7 +282,14 @@ mod tests {
         ctx.role = Role::Head; // lie
         let err = s
             .tpd
-            .request_access(&mut s.package, Action::Read, &proof, &s.issuer.public_key(), &ctx, PseudonymId(1))
+            .request_access(
+                &mut s.package,
+                Action::Read,
+                &proof,
+                &s.issuer.public_key(),
+                &ctx,
+                PseudonymId(1),
+            )
             .unwrap_err();
         assert_eq!(err, AccessError::Denied);
     }
@@ -279,11 +300,22 @@ mod tests {
         let (mut s, _, ctx) = setup_with_policy(policy, storage_attrs());
         // Proof signed by the wrong key.
         let thief = SigningKey::from_seed(b"thief");
-        let cred = s.issuer.issue(storage_attrs(), s.subject_key.verifying_key(), SimTime::from_secs(10_000));
+        let cred = s.issuer.issue(
+            storage_attrs(),
+            s.subject_key.verifying_key(),
+            SimTime::from_secs(10_000),
+        );
         let bad = prove_possession(&cred, &thief, &challenge_bytes(7, ctx.now));
         let err = s
             .tpd
-            .request_access(&mut s.package, Action::Read, &bad, &s.issuer.public_key(), &ctx, PseudonymId(1))
+            .request_access(
+                &mut s.package,
+                Action::Read,
+                &bad,
+                &s.issuer.public_key(),
+                &ctx,
+                PseudonymId(1),
+            )
             .unwrap_err();
         assert_eq!(err, AccessError::BadProof);
         assert!(s.package.audit.is_empty(), "unverified requesters leave no log entries");
@@ -299,7 +331,14 @@ mod tests {
             DataPackage::seal_new(8, b"other data", policy, &owner, &s.tpd.public_share(), 1);
         let err = s
             .tpd
-            .request_access(&mut other, Action::Read, &proof, &s.issuer.public_key(), &ctx, PseudonymId(1))
+            .request_access(
+                &mut other,
+                Action::Read,
+                &proof,
+                &s.issuer.public_key(),
+                &ctx,
+                PseudonymId(1),
+            )
             .unwrap_err();
         assert_eq!(err, AccessError::BadProof);
     }
@@ -312,7 +351,14 @@ mod tests {
         s.package.policy = Policy::new().allow(Action::Read, Expr::True);
         let err = s
             .tpd
-            .request_access(&mut s.package, Action::Read, &proof, &s.issuer.public_key(), &ctx, PseudonymId(1))
+            .request_access(
+                &mut s.package,
+                Action::Read,
+                &proof,
+                &s.issuer.public_key(),
+                &ctx,
+                PseudonymId(1),
+            )
             .unwrap_err();
         assert_eq!(err, AccessError::Corrupt);
     }
@@ -326,7 +372,14 @@ mod tests {
         ctx.emergency = true;
         let out = s
             .tpd
-            .request_access(&mut s.package, Action::Read, &proof, &s.issuer.public_key(), &ctx, PseudonymId(1))
+            .request_access(
+                &mut s.package,
+                Action::Read,
+                &proof,
+                &s.issuer.public_key(),
+                &ctx,
+                PseudonymId(1),
+            )
             .unwrap();
         assert_eq!(out, b"sensor archive");
         assert_eq!(s.package.audit.records()[0].decision, Decision::PermitEmergency);
@@ -338,7 +391,14 @@ mod tests {
         let (mut s, proof, ctx) = setup_with_policy(policy, storage_attrs());
         let rogue = TpdEnforcer::new(b"rogue-device");
         let err = rogue
-            .request_access(&mut s.package, Action::Read, &proof, &s.issuer.public_key(), &ctx, PseudonymId(1))
+            .request_access(
+                &mut s.package,
+                Action::Read,
+                &proof,
+                &s.issuer.public_key(),
+                &ctx,
+                PseudonymId(1),
+            )
             .unwrap_err();
         assert_eq!(err, AccessError::Corrupt);
     }

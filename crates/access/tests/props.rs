@@ -1,68 +1,71 @@
 //! Property-based tests for policies, audit chains, and enforcement.
 
-use proptest::prelude::*;
 use vc_access::audit::AuditLog;
 use vc_access::policy::{Action, Context, Decision, Expr, Policy, Role};
 use vc_auth::pseudonym::PseudonymId;
 use vc_sim::geom::{Point, Rect};
 use vc_sim::node::SaeLevel;
+use vc_sim::rng::SimRng;
 use vc_sim::time::SimTime;
+use vc_testkit::prop::strategy::{any_u16, from_fn, FromFn};
+use vc_testkit::{prop, prop_assert, prop_assert_eq};
 
-fn role() -> impl Strategy<Value = Role> {
-    prop_oneof![
-        Just(Role::Member),
-        Just(Role::Head),
-        Just(Role::Storage),
-        Just(Role::Sensor),
-        Just(Role::Gateway),
-    ]
+const ROLES: [Role; 5] = [Role::Member, Role::Head, Role::Storage, Role::Sensor, Role::Gateway];
+const ACTIONS: [Action; 4] = [Action::Read, Action::Write, Action::Compute, Action::Delegate];
+
+fn gen_sae(rng: &mut SimRng) -> SaeLevel {
+    SaeLevel::from_u8(rng.range_u64(0, 6) as u8).unwrap()
 }
 
-fn sae() -> impl Strategy<Value = SaeLevel> {
-    (0u8..=5).prop_map(|n| SaeLevel::from_u8(n).unwrap())
-}
-
-fn action() -> impl Strategy<Value = Action> {
-    prop_oneof![Just(Action::Read), Just(Action::Write), Just(Action::Compute), Just(Action::Delegate)]
-}
-
-fn context() -> impl Strategy<Value = Context> {
-    (role(), 0.0f64..60.0, -500.0f64..500.0, -500.0f64..500.0, sae(), any::<bool>(), 0u64..10_000)
-        .prop_map(|(role, speed, x, y, automation, emergency, t)| Context {
-            role,
-            speed,
-            position: Point::new(x, y),
-            automation,
-            emergency,
-            now: SimTime::from_secs(t),
-        })
-}
-
-fn expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        Just(Expr::True),
-        Just(Expr::False),
-        role().prop_map(Expr::HasRole),
-        (0.0f64..60.0).prop_map(Expr::SpeedBelow),
-        sae().prop_map(Expr::AutomationAtLeast),
-        Just(Expr::EmergencyActive),
-        (0u64..10_000).prop_map(|t| Expr::Before(SimTime::from_secs(t))),
-        (0u64..10_000).prop_map(|t| Expr::After(SimTime::from_secs(t))),
-        (-500.0f64..0.0, -500.0f64..0.0, 0.0f64..500.0, 0.0f64..500.0).prop_map(|(x1, y1, x2, y2)| {
-            Expr::WithinRegion(Rect::new(Point::new(x1, y1), Point::new(x2, y2)))
-        }),
-    ];
-    leaf.prop_recursive(3, 24, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
-            inner.prop_map(|e| e.negate()),
-        ]
+fn context() -> FromFn<impl Fn(&mut SimRng) -> Context> {
+    from_fn(|rng| Context {
+        role: ROLES[rng.index(ROLES.len())],
+        speed: rng.range_f64(0.0, 60.0),
+        position: Point::new(rng.range_f64(-500.0, 500.0), rng.range_f64(-500.0, 500.0)),
+        automation: gen_sae(rng),
+        emergency: rng.chance(0.5),
+        now: SimTime::from_secs(rng.range_u64(0, 10_000)),
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn action() -> FromFn<impl Fn(&mut SimRng) -> Action> {
+    from_fn(|rng| ACTIONS[rng.index(ACTIONS.len())])
+}
+
+fn gen_leaf(rng: &mut SimRng) -> Expr {
+    match rng.index(9) {
+        0 => Expr::True,
+        1 => Expr::False,
+        2 => Expr::HasRole(ROLES[rng.index(ROLES.len())]),
+        3 => Expr::SpeedBelow(rng.range_f64(0.0, 60.0)),
+        4 => Expr::AutomationAtLeast(gen_sae(rng)),
+        5 => Expr::EmergencyActive,
+        6 => Expr::Before(SimTime::from_secs(rng.range_u64(0, 10_000))),
+        7 => Expr::After(SimTime::from_secs(rng.range_u64(0, 10_000))),
+        _ => Expr::WithinRegion(Rect::new(
+            Point::new(rng.range_f64(-500.0, 0.0), rng.range_f64(-500.0, 0.0)),
+            Point::new(rng.range_f64(0.0, 500.0), rng.range_f64(0.0, 500.0)),
+        )),
+    }
+}
+
+fn gen_expr(rng: &mut SimRng, depth: usize) -> Expr {
+    if depth == 0 || rng.chance(0.4) {
+        return gen_leaf(rng);
+    }
+    match rng.index(3) {
+        0 => gen_expr(rng, depth - 1).and(gen_expr(rng, depth - 1)),
+        1 => gen_expr(rng, depth - 1).or(gen_expr(rng, depth - 1)),
+        _ => gen_expr(rng, depth - 1).negate(),
+    }
+}
+
+fn expr() -> FromFn<impl Fn(&mut SimRng) -> Expr> {
+    from_fn(|rng| gen_expr(rng, 3))
+}
+
+prop! {
+    #![cases(128)]
 
     // Boolean-algebra identities hold for every expression and context.
     #[test]
@@ -114,7 +117,7 @@ proptest! {
     #[test]
     fn audit_chain_detects_any_mutation(
         n in 2usize..20,
-        victim in any::<u16>(),
+        victim in any_u16(),
         field in 0u8..3,
     ) {
         let mut log = AuditLog::new();

@@ -26,7 +26,12 @@ fn honest_report(reporter: u64, truth: bool, rng: &mut SimRng) -> Report {
 }
 
 /// Builds a lying report (always the opposite of truth).
-fn lying_report(reporter: u64, truth: bool, rng: &mut SimRng, shared_path: Option<Vec<VehicleId>>) -> Report {
+fn lying_report(
+    reporter: u64,
+    truth: bool,
+    rng: &mut SimRng,
+    shared_path: Option<Vec<VehicleId>>,
+) -> Report {
     Report {
         reporter,
         kind: EventKind::Ice,

@@ -37,8 +37,8 @@ pub mod privacy;
 pub mod prelude {
     pub use crate::application::{false_data_attack, sybil_attack};
     pub use crate::network::{
-        delay_attack, dos_flood_attack, eavesdrop_attack, impersonation_attack,
-        mitm_tamper_attack, replay_attack, suppression_attack,
+        delay_attack, dos_flood_attack, eavesdrop_attack, impersonation_attack, mitm_tamper_attack,
+        replay_attack, suppression_attack,
     };
     pub use crate::outcome::{AttackOutcome, Defense};
     pub use crate::privacy::{tracking_accuracy, traffic_analysis_accuracy, IdScheme};

@@ -18,7 +18,9 @@ use vc_sim::node::VehicleId;
 use vc_sim::rng::SimRng;
 use vc_sim::time::{SimDuration, SimTime};
 
-fn provisioned_wallet(seed: u64) -> (vc_auth::identity::TrustedAuthority, PseudonymRegistry, PseudonymWallet) {
+fn provisioned_wallet(
+    seed: u64,
+) -> (vc_auth::identity::TrustedAuthority, PseudonymRegistry, PseudonymWallet) {
     let mut ta = vc_auth::identity::TrustedAuthority::new(b"attack-ta");
     let mut reg = PseudonymRegistry::new();
     let id = RealIdentity::for_vehicle(VehicleId(seed as u32));
@@ -49,11 +51,19 @@ pub fn replay_attack(defense: Defense, trials: usize, rng: &mut SimRng) -> Attac
             Defense::Off => {
                 // Baseline victim checks only the signature: replays of valid
                 // messages always pass.
-                vc_auth::pseudonym::verify(&msg, &ta.public_key(), reg.crl(), later, SimDuration::from_secs(1_000_000))
-                    .is_ok()
+                vc_auth::pseudonym::verify(
+                    &msg,
+                    &ta.public_key(),
+                    reg.crl(),
+                    later,
+                    SimDuration::from_secs(1_000_000),
+                )
+                .is_ok()
             }
             Defense::On => {
-                let sig_ok = vc_auth::pseudonym::verify(&msg, &ta.public_key(), reg.crl(), later, window).is_ok();
+                let sig_ok =
+                    vc_auth::pseudonym::verify(&msg, &ta.public_key(), reg.crl(), later, window)
+                        .is_ok();
                 sig_ok && guard.check(digest, msg.sent_at, later) == ReplayVerdict::Fresh
             }
         };

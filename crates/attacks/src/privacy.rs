@@ -84,10 +84,8 @@ pub fn tracking_accuracy(scheme: IdScheme, n: usize, windows: usize, rng: &mut S
                 total += 1;
                 // 1) identifier match (unique ids only — the group id is
                 //    shared by everyone and carries no information).
-                let id_matches: Vec<&Observation> = prev_obs
-                    .iter()
-                    .filter(|p| p.observable_id == cur.observable_id)
-                    .collect();
+                let id_matches: Vec<&Observation> =
+                    prev_obs.iter().filter(|p| p.observable_id == cur.observable_id).collect();
                 let guess = if id_matches.len() == 1 {
                     Some(id_matches[0].vehicle)
                 } else {
@@ -176,7 +174,8 @@ mod tests {
     fn rotation_reduces_tracking() {
         let mut rng = SimRng::seed_from(2);
         let static_acc = tracking_accuracy(IdScheme::StaticPseudonym, 40, 20, &mut rng);
-        let rotating = tracking_accuracy(IdScheme::RotatingPseudonym { period: 2 }, 40, 20, &mut rng);
+        let rotating =
+            tracking_accuracy(IdScheme::RotatingPseudonym { period: 2 }, 40, 20, &mut rng);
         assert!(rotating < static_acc, "rotation must reduce linkability");
         assert!(rotating > 0.3, "spatial continuity still links some: {rotating}");
     }

@@ -224,7 +224,8 @@ impl GroupCoordinator {
         let share = PublicShare::from_bytes(&message.eph_share).ok_or(AuthError::Malformed)?;
         let key = self.opening_secret.agree(&share, b"vc-group-open");
         let nonce = [0u8; 12];
-        let tag_bytes = aead_open(&key.0, &nonce, &message.sealed_tag).ok_or(AuthError::Malformed)?;
+        let tag_bytes =
+            aead_open(&key.0, &nonce, &message.sealed_tag).ok_or(AuthError::Malformed)?;
         if tag_bytes.len() != 8 {
             return Err(AuthError::Malformed);
         }

@@ -63,7 +63,11 @@ pub struct Initiator {
 
 impl Initiator {
     /// Produces the HELLO message. `entropy` seeds the ephemeral key.
-    pub fn hello(wallet: &PseudonymWallet, now: SimTime, entropy: u64) -> (Initiator, HandshakeMessage) {
+    pub fn hello(
+        wallet: &PseudonymWallet,
+        now: SimTime,
+        entropy: u64,
+    ) -> (Initiator, HandshakeMessage) {
         let mut seed = b"handshake-init".to_vec();
         seed.extend_from_slice(&entropy.to_be_bytes());
         seed.extend_from_slice(&now.as_micros().to_be_bytes());
@@ -167,19 +171,11 @@ mod tests {
         let net = setup();
         let now = SimTime::from_secs(10);
         let (init, hello) = Initiator::hello(&net.alice, now, 1);
-        let (bob_key, accept) = respond(
-            &hello,
-            &net.bob,
-            &net.ta.public_key(),
-            net.registry.crl(),
-            now,
-            window(),
-            2,
-        )
-        .unwrap();
-        let alice_key = init
-            .finish(&accept, &net.ta.public_key(), net.registry.crl(), now, window())
-            .unwrap();
+        let (bob_key, accept) =
+            respond(&hello, &net.bob, &net.ta.public_key(), net.registry.crl(), now, window(), 2)
+                .unwrap();
+        let alice_key =
+            init.finish(&accept, &net.ta.public_key(), net.registry.crl(), now, window()).unwrap();
         assert_eq!(alice_key.0, bob_key.0);
     }
 
@@ -212,16 +208,9 @@ mod tests {
         let (_, mut hello) = Initiator::hello(&net.alice, now, 1);
         let mallory = EphemeralSecret::from_seed(b"mallory");
         hello.envelope.payload = hello_payload(&mallory.public_share());
-        let err = respond(
-            &hello,
-            &net.bob,
-            &net.ta.public_key(),
-            net.registry.crl(),
-            now,
-            window(),
-            2,
-        )
-        .unwrap_err();
+        let err =
+            respond(&hello, &net.bob, &net.ta.public_key(), net.registry.crl(), now, window(), 2)
+                .unwrap_err();
         assert_eq!(err, AuthError::BadSignature);
     }
 
@@ -258,16 +247,9 @@ mod tests {
         let now = SimTime::from_secs(10);
         net.registry.revoke_identity(net.alice.real_identity());
         let (_, hello) = Initiator::hello(&net.alice, now, 1);
-        let err = respond(
-            &hello,
-            &net.bob,
-            &net.ta.public_key(),
-            net.registry.crl(),
-            now,
-            window(),
-            2,
-        )
-        .unwrap_err();
+        let err =
+            respond(&hello, &net.bob, &net.ta.public_key(), net.registry.crl(), now, window(), 2)
+                .unwrap_err();
         assert_eq!(err, AuthError::Revoked);
     }
 
@@ -277,19 +259,11 @@ mod tests {
         let net = setup();
         let now = SimTime::from_secs(10);
         let (init, hello) = Initiator::hello(&net.alice, now, 1);
-        let (bob_key, accept) = respond(
-            &hello,
-            &net.bob,
-            &net.ta.public_key(),
-            net.registry.crl(),
-            now,
-            window(),
-            2,
-        )
-        .unwrap();
-        let alice_key = init
-            .finish(&accept, &net.ta.public_key(), net.registry.crl(), now, window())
-            .unwrap();
+        let (bob_key, accept) =
+            respond(&hello, &net.bob, &net.ta.public_key(), net.registry.crl(), now, window(), 2)
+                .unwrap();
+        let alice_key =
+            init.finish(&accept, &net.ta.public_key(), net.registry.crl(), now, window()).unwrap();
         let sealed = seal(&alice_key.0, &[0u8; 12], b"co-operative merge plan");
         assert_eq!(open(&bob_key.0, &[0u8; 12], &sealed).unwrap(), b"co-operative merge plan");
     }

@@ -136,7 +136,11 @@ impl RegionalIssuer {
     /// # Errors
     ///
     /// [`AuthError::Revoked`] if the identity is banned.
-    pub fn issue(&mut self, identity: &RealIdentity, now: SimTime) -> Result<HybridCredential, AuthError> {
+    pub fn issue(
+        &mut self,
+        identity: &RealIdentity,
+        now: SimTime,
+    ) -> Result<HybridCredential, AuthError> {
         if self.banned.contains(identity) {
             return Err(AuthError::Revoked);
         }
@@ -151,7 +155,8 @@ impl RegionalIssuer {
         let trapdoor = aead_seal(&shared.0, &[0u8; 12], identity.0.as_bytes());
         let trapdoor_share = eph.public_share().to_bytes();
         let valid_until = now + self.cert_lifetime;
-        let body = ShortCert::signed_bytes(&key.verifying_key(), &trapdoor, &trapdoor_share, valid_until);
+        let body =
+            ShortCert::signed_bytes(&key.verifying_key(), &trapdoor, &trapdoor_share, valid_until);
         let issuer_signature = self.group_key.sign(&body);
         Ok(HybridCredential {
             cert: ShortCert {
@@ -328,10 +333,7 @@ mod tests {
         let cred = issuer.issue(&id, now).unwrap();
         let mut msg = cred.sign(b"m", now);
         msg.payload = b"evil".to_vec();
-        assert_eq!(
-            verify(&msg, &issuer.public_key(), now, window()),
-            Err(AuthError::BadSignature)
-        );
+        assert_eq!(verify(&msg, &issuer.public_key(), now, window()), Err(AuthError::BadSignature));
     }
 
     #[test]

@@ -49,7 +49,9 @@ pub mod token;
 
 /// Convenient glob import of the commonly used types.
 pub mod prelude {
-    pub use crate::groupsig::{GroupCoordinator, GroupId, GroupMessage, MemberCredential, MemberTag};
+    pub use crate::groupsig::{
+        GroupCoordinator, GroupId, GroupMessage, MemberCredential, MemberTag,
+    };
     pub use crate::handshake::{respond as handshake_respond, HandshakeMessage, Initiator};
     pub use crate::hybrid::{HybridCredential, HybridMessage, RegionalIssuer, TaOpening};
     pub use crate::identity::{AuthError, RealIdentity, TrustedAuthority};

@@ -135,7 +135,12 @@ impl PseudonymWallet {
         let key = &self.keys[self.current];
         let mut to_sign = payload.to_vec();
         to_sign.extend_from_slice(&now.as_micros().to_be_bytes());
-        PseudonymMessage { cert, signature: key.sign(&to_sign), sent_at: now, payload: payload.to_vec() }
+        PseudonymMessage {
+            cert,
+            signature: key.sign(&to_sign),
+            sent_at: now,
+            payload: payload.to_vec(),
+        }
     }
 
     /// The real identity this wallet belongs to (vehicle-local knowledge,
@@ -203,9 +208,17 @@ impl PseudonymRegistry {
             let sk = SigningKey::from_seed(&kseed);
             let vk = sk.verifying_key();
             let linkage_value = seed.linkage_value(id);
-            let body = PseudonymCert::signed_bytes(id, &vk, &linkage_value, valid_from, valid_until);
+            let body =
+                PseudonymCert::signed_bytes(id, &vk, &linkage_value, valid_from, valid_until);
             let ta_signature = ta.signing_key().sign(&body);
-            certs.push(PseudonymCert { id, key: vk, linkage_value, valid_from, valid_until, ta_signature });
+            certs.push(PseudonymCert {
+                id,
+                key: vk,
+                linkage_value,
+                valid_from,
+                valid_until,
+                ta_signature,
+            });
             keys.push(sk);
             self.escrow.insert(id, identity.clone());
         }
@@ -332,9 +345,8 @@ mod tests {
         let ta = TrustedAuthority::new(b"ta");
         let mut reg = PseudonymRegistry::new();
         let id = RealIdentity::for_vehicle(VehicleId(9));
-        let err = reg
-            .issue_wallet(&ta, &id, 3, SimTime::ZERO, SimTime::from_secs(10), b"s")
-            .unwrap_err();
+        let err =
+            reg.issue_wallet(&ta, &id, 3, SimTime::ZERO, SimTime::from_secs(10), b"s").unwrap_err();
         assert_eq!(err, AuthError::Unknown);
     }
 
@@ -345,9 +357,8 @@ mod tests {
         let id = RealIdentity::for_vehicle(VehicleId(2));
         ta.register(id.clone(), VehicleId(2));
         ta.revoke(&id);
-        let err = reg
-            .issue_wallet(&ta, &id, 3, SimTime::ZERO, SimTime::from_secs(10), b"s")
-            .unwrap_err();
+        let err =
+            reg.issue_wallet(&ta, &id, 3, SimTime::ZERO, SimTime::from_secs(10), b"s").unwrap_err();
         assert_eq!(err, AuthError::Revoked);
     }
 

@@ -109,7 +109,10 @@ mod tests {
     fn entries_expire_out_of_window() {
         let mut g = guard();
         let d = sha256(b"msg");
-        assert_eq!(g.check(d, SimTime::from_secs(10), SimTime::from_secs(10)), ReplayVerdict::Fresh);
+        assert_eq!(
+            g.check(d, SimTime::from_secs(10), SimTime::from_secs(10)),
+            ReplayVerdict::Fresh
+        );
         // 6 seconds later the digest has aged out, but a replay with the OLD
         // timestamp is still caught by the window check.
         assert_eq!(
@@ -118,7 +121,10 @@ mod tests {
         );
         // A fresh message triggers eviction of the aged-out digest.
         let d2 = sha256(b"msg-2");
-        assert_eq!(g.check(d2, SimTime::from_secs(16), SimTime::from_secs(16)), ReplayVerdict::Fresh);
+        assert_eq!(
+            g.check(d2, SimTime::from_secs(16), SimTime::from_secs(16)),
+            ReplayVerdict::Fresh
+        );
         assert_eq!(g.cached(), 1, "expired entry evicted, fresh one kept");
     }
 
@@ -143,8 +149,14 @@ mod tests {
         g.check(d2, SimTime::from_secs(2), SimTime::from_secs(3));
         g.check(d3, SimTime::from_secs(3), SimTime::from_secs(3));
         // d1 (oldest) evicted; d2 and d3 still caught as duplicates.
-        assert_eq!(g.check(d2, SimTime::from_secs(2), SimTime::from_secs(3)), ReplayVerdict::Duplicate);
-        assert_eq!(g.check(d3, SimTime::from_secs(3), SimTime::from_secs(3)), ReplayVerdict::Duplicate);
+        assert_eq!(
+            g.check(d2, SimTime::from_secs(2), SimTime::from_secs(3)),
+            ReplayVerdict::Duplicate
+        );
+        assert_eq!(
+            g.check(d3, SimTime::from_secs(3), SimTime::from_secs(3)),
+            ReplayVerdict::Duplicate
+        );
     }
 
     #[test]

@@ -32,7 +32,12 @@ pub struct ServiceToken {
 }
 
 impl ServiceToken {
-    fn signed_bytes(holder: PseudonymId, service: ServiceId, issued: SimTime, expires: SimTime) -> Vec<u8> {
+    fn signed_bytes(
+        holder: PseudonymId,
+        service: ServiceId,
+        issued: SimTime,
+        expires: SimTime,
+    ) -> Vec<u8> {
         let mut out = holder.0.to_be_bytes().to_vec();
         out.extend_from_slice(&service.0.to_be_bytes());
         out.extend_from_slice(&issued.as_micros().to_be_bytes());
@@ -68,7 +73,13 @@ impl TokenGateway {
         self.issued += 1;
         let expires_at = now + self.token_lifetime;
         let body = ServiceToken::signed_bytes(holder, service, now, expires_at);
-        ServiceToken { holder, service, issued_at: now, expires_at, signature: self.key.sign(&body) }
+        ServiceToken {
+            holder,
+            service,
+            issued_at: now,
+            expires_at,
+            signature: self.key.sign(&body),
+        }
     }
 
     /// Number of tokens issued (diagnostic).
@@ -95,7 +106,8 @@ pub fn verify_token(
     if now > token.expires_at || now < token.issued_at {
         return Err(AuthError::Expired);
     }
-    let body = ServiceToken::signed_bytes(token.holder, token.service, token.issued_at, token.expires_at);
+    let body =
+        ServiceToken::signed_bytes(token.holder, token.service, token.issued_at, token.expires_at);
     if !gateway_key.verify(&body, &token.signature) {
         return Err(AuthError::BadCredential);
     }
@@ -135,9 +147,15 @@ mod tests {
         let mut gw = gateway();
         let token = gw.issue(PseudonymId(5), ServiceId(1), SimTime::from_secs(100));
         let late = SimTime::from_secs(500);
-        assert_eq!(verify_token(&token, &gw.public_key(), ServiceId(1), late), Err(AuthError::Expired));
+        assert_eq!(
+            verify_token(&token, &gw.public_key(), ServiceId(1), late),
+            Err(AuthError::Expired)
+        );
         let early = SimTime::from_secs(50);
-        assert_eq!(verify_token(&token, &gw.public_key(), ServiceId(1), early), Err(AuthError::Expired));
+        assert_eq!(
+            verify_token(&token, &gw.public_key(), ServiceId(1), early),
+            Err(AuthError::Expired)
+        );
     }
 
     #[test]

@@ -1,6 +1,5 @@
 //! Property-based tests for the authentication protocols.
 
-use proptest::prelude::*;
 use vc_auth::groupsig::{GroupCoordinator, GroupId};
 use vc_auth::identity::{AuthError, RealIdentity, TrustedAuthority};
 use vc_auth::pseudonym::{LinkageSeed, PseudonymRegistry};
@@ -8,16 +7,18 @@ use vc_auth::replay::{ReplayGuard, ReplayVerdict};
 use vc_crypto::sha256::sha256;
 use vc_sim::node::VehicleId;
 use vc_sim::time::{SimDuration, SimTime};
+use vc_testkit::prop::strategy::{any_bytes, any_u16, any_u32, any_u64, any_u8, vec};
+use vc_testkit::{prop, prop_assert, prop_assert_eq};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+prop! {
+    #![cases(24)]
 
     // Any payload signed by a provisioned wallet verifies; any single-byte
     // payload tamper is rejected.
     #[test]
     fn pseudonym_sign_verify_tamper(
-        payload in proptest::collection::vec(any::<u8>(), 1..128),
-        flip_idx in any::<u16>(),
+        payload in vec(any_u8(), 1..128),
+        flip_idx in any_u16(),
         pool in 1usize..6,
     ) {
         let mut ta = TrustedAuthority::new(b"prop-ta");
@@ -83,7 +84,7 @@ proptest! {
     // coordinator opens every message to the right identity regardless of
     // entropy; non-members never verify.
     #[test]
-    fn group_open_is_correct(member_count in 1usize..6, entropy in any::<u64>(), pick in any::<u8>()) {
+    fn group_open_is_correct(member_count in 1usize..6, entropy in any_u64(), pick in any_u8()) {
         let mut coord = GroupCoordinator::new(GroupId(1), b"prop-group");
         let creds: Vec<_> = (0..member_count)
             .map(|i| coord.admit(RealIdentity::for_vehicle(VehicleId(i as u32))))
@@ -102,7 +103,7 @@ proptest! {
     // Replay guard: within a window, a digest is fresh exactly once, for
     // any interleaving of distinct messages.
     #[test]
-    fn replay_guard_exactly_once(msgs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..16), 1..20)) {
+    fn replay_guard_exactly_once(msgs in vec(vec(any_u8(), 1..16), 1..20)) {
         let mut guard = ReplayGuard::new(SimDuration::from_secs(1_000), 4096);
         let now = SimTime::from_secs(10);
         let mut seen = std::collections::HashSet::new();
@@ -120,7 +121,7 @@ proptest! {
     // Linkage values are deterministic per (seed, cert) and collide across
     // certs only negligibly (distinct ids in a small sample never collide).
     #[test]
-    fn linkage_values_distinct(seed_bytes in any::<[u8; 16]>(), base in any::<u32>()) {
+    fn linkage_values_distinct(seed_bytes in any_bytes::<16>(), base in any_u32()) {
         let seed = LinkageSeed(seed_bytes);
         let mut values = std::collections::HashSet::new();
         for i in 0..16u64 {

@@ -1,8 +1,6 @@
-//! Criterion benches for the authentication protocols — per-message costs
+//! Micro-benches for the authentication protocols — per-message costs
 //! and the CRL-scaling curve (the quantitative core of experiment E4).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 use vc_auth::groupsig::{GroupCoordinator, GroupId};
 use vc_auth::hybrid::{RegionalIssuer, TaOpening};
 use vc_auth::identity::{RealIdentity, TrustedAuthority};
@@ -10,25 +8,25 @@ use vc_auth::pseudonym::{LinkageSeed, PseudonymRegistry};
 use vc_auth::token::{ServiceId, TokenGateway};
 use vc_sim::node::VehicleId;
 use vc_sim::time::{SimDuration, SimTime};
+use vc_testkit::bench::{black_box, Suite};
 
 fn window() -> SimDuration {
     SimDuration::from_secs(5)
 }
 
-fn bench_pseudonym(c: &mut Criterion) {
+fn main() {
+    let mut suite = Suite::new("auth");
+
+    // ---- pseudonyms ----
     let mut ta = TrustedAuthority::new(b"bench-ta");
     let mut reg = PseudonymRegistry::new();
     let id = RealIdentity::for_vehicle(VehicleId(1));
     ta.register(id.clone(), VehicleId(1));
-    let wallet = reg
-        .issue_wallet(&ta, &id, 8, SimTime::ZERO, SimTime::from_secs(100_000), b"seed")
-        .unwrap();
+    let wallet =
+        reg.issue_wallet(&ta, &id, 8, SimTime::ZERO, SimTime::from_secs(100_000), b"seed").unwrap();
     let now = SimTime::from_secs(10);
-    c.bench_function("pseudonym/sign", |b| {
-        b.iter(|| wallet.sign(black_box(b"beacon"), now));
-    });
+    suite.bench("pseudonym/sign", || wallet.sign(black_box(b"beacon"), now));
     let msg = wallet.sign(b"beacon", now);
-    let mut group = c.benchmark_group("pseudonym/verify_vs_crl");
     for crl_size in [0usize, 1_000, 10_000, 50_000] {
         let mut reg2 = PseudonymRegistry::new();
         for i in 0..crl_size as u64 {
@@ -36,77 +34,47 @@ fn bench_pseudonym(c: &mut Criterion) {
             s[..8].copy_from_slice(&i.to_be_bytes());
             reg2.inject_revoked_seed(LinkageSeed(s));
         }
-        group.bench_with_input(BenchmarkId::from_parameter(crl_size), &reg2, |b, reg2| {
-            b.iter(|| {
-                vc_auth::pseudonym::verify(
-                    black_box(&msg),
-                    &ta.public_key(),
-                    reg2.crl(),
-                    now,
-                    window(),
-                )
-            });
+        suite.bench(&format!("pseudonym/verify_vs_crl/{crl_size}"), || {
+            vc_auth::pseudonym::verify(black_box(&msg), &ta.public_key(), reg2.crl(), now, window())
         });
     }
-    group.finish();
-}
 
-fn bench_group(c: &mut Criterion) {
+    // ---- group signatures ----
     let mut coord = GroupCoordinator::new(GroupId(1), b"bench-group");
     let member = coord.admit(RealIdentity::for_vehicle(VehicleId(2)));
-    let now = SimTime::from_secs(10);
-    c.bench_function("group/sign", |b| {
-        b.iter(|| member.sign(black_box(b"beacon"), now, 7));
+    suite.bench("group/sign", || member.sign(black_box(b"beacon"), now, 7));
+    let gmsg = member.sign(b"beacon", now, 7);
+    suite.bench("group/verify", || {
+        vc_auth::groupsig::verify(
+            black_box(&gmsg),
+            &coord.group_public_key(),
+            coord.epoch(),
+            now,
+            window(),
+        )
     });
-    let msg = member.sign(b"beacon", now, 7);
-    c.bench_function("group/verify", |b| {
-        b.iter(|| {
-            vc_auth::groupsig::verify(
-                black_box(&msg),
-                &coord.group_public_key(),
-                coord.epoch(),
-                now,
-                window(),
-            )
-        });
-    });
-    c.bench_function("group/open", |b| {
-        b.iter(|| coord.open_message(black_box(&msg)));
-    });
-}
+    suite.bench("group/open", || coord.open_message(black_box(&gmsg)));
 
-fn bench_hybrid(c: &mut Criterion) {
-    let ta = TrustedAuthority::new(b"bench-hybrid-ta");
-    let opening = TaOpening::for_ta(&ta);
+    // ---- hybrid regional certs ----
+    let ta2 = TrustedAuthority::new(b"bench-hybrid-ta");
+    let opening = TaOpening::for_ta(&ta2);
     let mut issuer = RegionalIssuer::new(b"region", &opening, SimDuration::from_secs(60));
-    let id = RealIdentity::for_vehicle(VehicleId(3));
-    let now = SimTime::from_secs(10);
-    c.bench_function("hybrid/issue_cert", |b| {
-        b.iter(|| issuer.issue(black_box(&id), now).unwrap());
+    let hid = RealIdentity::for_vehicle(VehicleId(3));
+    suite.bench("hybrid/issue_cert", || issuer.issue(black_box(&hid), now).unwrap());
+    let cred = issuer.issue(&hid, now).unwrap();
+    suite.bench("hybrid/sign", || cred.sign(black_box(b"beacon"), now));
+    let hmsg = cred.sign(b"beacon", now);
+    suite.bench("hybrid/verify", || {
+        vc_auth::hybrid::verify(black_box(&hmsg), &issuer.public_key(), now, window())
     });
-    let cred = issuer.issue(&id, now).unwrap();
-    c.bench_function("hybrid/sign", |b| {
-        b.iter(|| cred.sign(black_box(b"beacon"), now));
-    });
-    let msg = cred.sign(b"beacon", now);
-    c.bench_function("hybrid/verify", |b| {
-        b.iter(|| vc_auth::hybrid::verify(black_box(&msg), &issuer.public_key(), now, window()));
-    });
-}
 
-fn bench_tokens(c: &mut Criterion) {
+    // ---- capability tokens ----
     let mut gw = TokenGateway::new(b"gw", SimDuration::from_secs(300));
-    let now = SimTime::from_secs(10);
-    c.bench_function("token/issue", |b| {
-        b.iter(|| gw.issue(vc_auth::pseudonym::PseudonymId(1), ServiceId(1), now));
-    });
+    suite.bench("token/issue", || gw.issue(vc_auth::pseudonym::PseudonymId(1), ServiceId(1), now));
     let token = gw.issue(vc_auth::pseudonym::PseudonymId(1), ServiceId(1), now);
-    c.bench_function("token/verify", |b| {
-        b.iter(|| {
-            vc_auth::token::verify_token(black_box(&token), &gw.public_key(), ServiceId(1), now)
-        });
+    suite.bench("token/verify", || {
+        vc_auth::token::verify_token(black_box(&token), &gw.public_key(), ServiceId(1), now)
     });
-}
 
-criterion_group!(benches, bench_pseudonym, bench_group, bench_hybrid, bench_tokens);
-criterion_main!(benches);
+    suite.finish();
+}

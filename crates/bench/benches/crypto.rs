@@ -1,8 +1,6 @@
-//! Criterion micro-benches for the cryptographic substrate: the raw cost
-//! basis behind every protocol number in EXPERIMENTS.md.
+//! Micro-benches for the cryptographic substrate: the raw cost basis
+//! behind every protocol number in EXPERIMENTS.md.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::hint::black_box;
 use vc_crypto::chacha20::{encrypt, seal};
 use vc_crypto::dh::EphemeralSecret;
 use vc_crypto::group::{Element, Scalar};
@@ -11,100 +9,63 @@ use vc_crypto::merkle::MerkleTree;
 use vc_crypto::schnorr::SigningKey;
 use vc_crypto::sha256::sha256;
 use vc_crypto::u256::U256;
+use vc_testkit::bench::{black_box, Suite};
 
-fn bench_hashes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sha256");
+fn main() {
+    let mut suite = Suite::new("crypto");
+
+    // ---- hashes ----
     for size in [64usize, 1024, 16_384] {
         let data = vec![0xA5u8; size];
-        group.throughput(Throughput::Bytes(size as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
-            b.iter(|| sha256(black_box(data)));
-        });
+        suite.bench_bytes(&format!("sha256/{size}"), size as u64, || sha256(black_box(&data)));
     }
-    group.finish();
+    let data = vec![0u8; 256];
+    suite.bench("hmac_sha256/256B", || hmac_sha256(black_box(b"key"), black_box(&data)));
 
-    c.bench_function("hmac_sha256/256B", |b| {
-        let data = vec![0u8; 256];
-        b.iter(|| hmac_sha256(black_box(b"key"), black_box(&data)));
-    });
-}
-
-fn bench_cipher(c: &mut Criterion) {
+    // ---- cipher ----
     let key = [7u8; 32];
     let nonce = [9u8; 12];
-    let mut group = c.benchmark_group("chacha20");
     for size in [256usize, 4096] {
         let data = vec![0u8; size];
-        group.throughput(Throughput::Bytes(size as u64));
-        group.bench_with_input(BenchmarkId::new("encrypt", size), &data, |b, data| {
-            b.iter(|| encrypt(black_box(&key), black_box(&nonce), black_box(data)));
+        suite.bench_bytes(&format!("chacha20/encrypt/{size}"), size as u64, || {
+            encrypt(black_box(&key), black_box(&nonce), black_box(&data))
         });
     }
-    group.finish();
-    c.bench_function("seal/1KiB", |b| {
-        let data = vec![0u8; 1024];
-        b.iter(|| seal(black_box(&key), black_box(&nonce), black_box(&data)));
-    });
-}
+    let data = vec![0u8; 1024];
+    suite.bench("seal/1KiB", || seal(black_box(&key), black_box(&nonce), black_box(&data)));
 
-fn bench_bignum(c: &mut Criterion) {
+    // ---- bignum ----
     let p = vc_crypto::group::group().p;
-    let a = U256::from_hex("1234567890abcdef1234567890abcdef1234567890abcdef1234567890abcdef")
-        .unwrap();
-    let b_val = U256::from_hex("fedcba0987654321fedcba0987654321fedcba0987654321fedcba0987654321")
-        .unwrap();
-    c.bench_function("u256/mul_mod", |b| {
-        b.iter(|| black_box(a).mul_mod(black_box(b_val), black_box(p)));
-    });
-    c.bench_function("u256/pow_mod", |b| {
-        b.iter(|| black_box(a).pow_mod(black_box(b_val), black_box(p)));
-    });
-}
+    let a =
+        U256::from_hex("1234567890abcdef1234567890abcdef1234567890abcdef1234567890abcdef").unwrap();
+    let b_val =
+        U256::from_hex("fedcba0987654321fedcba0987654321fedcba0987654321fedcba0987654321").unwrap();
+    suite.bench("u256/mul_mod", || black_box(a).mul_mod(black_box(b_val), black_box(p)));
+    suite.bench("u256/pow_mod", || black_box(a).pow_mod(black_box(b_val), black_box(p)));
 
-fn bench_signatures(c: &mut Criterion) {
+    // ---- signatures ----
     let sk = SigningKey::from_seed(b"bench");
     let vk = sk.verifying_key();
     let msg = vec![0x42u8; 200];
     let sig = sk.sign(&msg);
-    c.bench_function("schnorr/sign", |b| {
-        b.iter(|| sk.sign(black_box(&msg)));
-    });
-    c.bench_function("schnorr/verify", |b| {
-        b.iter(|| vk.verify(black_box(&msg), black_box(&sig)));
-    });
-    c.bench_function("group/base_pow", |b| {
-        let e = Scalar::from_u64(0xdeadbeefcafe);
-        b.iter(|| Element::base_pow(black_box(e)));
-    });
-}
+    suite.bench("schnorr/sign", || sk.sign(black_box(&msg)));
+    suite.bench("schnorr/verify", || vk.verify(black_box(&msg), black_box(&sig)));
+    let e = Scalar::from_u64(0xdeadbeefcafe);
+    suite.bench("group/base_pow", || Element::base_pow(black_box(e)));
 
-fn bench_dh(c: &mut Criterion) {
+    // ---- key agreement ----
     let alice = EphemeralSecret::from_seed(b"alice");
     let bob_share = EphemeralSecret::from_seed(b"bob").public_share();
-    c.bench_function("dh/agree", |b| {
-        b.iter(|| alice.agree(black_box(&bob_share), b"ctx"));
-    });
-}
+    suite.bench("dh/agree", || alice.agree(black_box(&bob_share), b"ctx"));
 
-fn bench_merkle(c: &mut Criterion) {
+    // ---- merkle ----
     let leaves: Vec<Vec<u8>> = (0..256).map(|i: u32| i.to_be_bytes().to_vec()).collect();
-    c.bench_function("merkle/build_256", |b| {
-        b.iter(|| MerkleTree::from_leaves(black_box(&leaves)));
-    });
+    suite.bench("merkle/build_256", || MerkleTree::from_leaves(black_box(&leaves)));
     let tree = MerkleTree::from_leaves(&leaves);
     let proof = tree.prove(127).unwrap();
-    c.bench_function("merkle/verify_proof_256", |b| {
-        b.iter(|| proof.verify(black_box(&tree.root()), black_box(&leaves[127])));
+    suite.bench("merkle/verify_proof_256", || {
+        proof.verify(black_box(&tree.root()), black_box(&leaves[127]))
     });
-}
 
-criterion_group!(
-    benches,
-    bench_hashes,
-    bench_cipher,
-    bench_bignum,
-    bench_signatures,
-    bench_dh,
-    bench_merkle
-);
-criterion_main!(benches);
+    suite.finish();
+}

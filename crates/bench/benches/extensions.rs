@@ -1,9 +1,7 @@
-//! Criterion benches for the extension modules: batch verification,
+//! Micro-benches for the extension modules: batch verification,
 //! the V2V handshake, delegation chains, checkpoint sealing, credit notes,
 //! and wire encoding.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 use vc_access::delegation::{grant, verify_chain, DelegationChain};
 use vc_access::policy::Action;
 use vc_auth::handshake::{respond, Initiator};
@@ -16,8 +14,12 @@ use vc_crypto::dh::EphemeralSecret;
 use vc_crypto::schnorr::{batch_verify, Signature, SigningKey, VerifyingKey};
 use vc_sim::node::VehicleId;
 use vc_sim::time::{SimDuration, SimTime};
+use vc_testkit::bench::{black_box, Suite};
 
-fn bench_batch_verify(c: &mut Criterion) {
+fn main() {
+    let mut suite = Suite::new("extensions");
+
+    // ---- batch signature verification ----
     let items: Vec<(Vec<u8>, VerifyingKey, Signature)> = (0..64u8)
         .map(|i| {
             let sk = SigningKey::from_seed(&[i, 9]);
@@ -26,19 +28,15 @@ fn bench_batch_verify(c: &mut Criterion) {
             (msg, sk.verifying_key(), sig)
         })
         .collect();
-    let mut group = c.benchmark_group("batch_verify");
-    group.sample_size(20);
     for n in [1usize, 8, 32, 64] {
         let refs: Vec<(&[u8], VerifyingKey, Signature)> =
             items[..n].iter().map(|(m, k, s)| (m.as_slice(), *k, *s)).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &refs, |b, refs| {
-            b.iter(|| assert!(batch_verify(black_box(refs), b"bench")));
+        suite.bench(&format!("batch_verify/{n}"), || {
+            assert!(batch_verify(black_box(&refs), b"bench"));
         });
     }
-    group.finish();
-}
 
-fn bench_handshake(c: &mut Criterion) {
+    // ---- V2V handshake ----
     let mut ta = TrustedAuthority::new(b"hs-bench");
     let mut registry = PseudonymRegistry::new();
     let a_id = RealIdentity::for_vehicle(VehicleId(1));
@@ -53,106 +51,78 @@ fn bench_handshake(c: &mut Criterion) {
         .unwrap();
     let now = SimTime::from_secs(10);
     let window = SimDuration::from_secs(5);
-    c.bench_function("handshake/full_exchange", |b| {
-        let mut entropy = 0u64;
-        b.iter(|| {
-            entropy += 1;
-            let (init, hello) = Initiator::hello(&alice, now, entropy);
-            let (k1, accept) =
-                respond(&hello, &bob, &ta.public_key(), registry.crl(), now, window, entropy + 1)
-                    .expect("respond");
-            let k2 = init
-                .finish(&accept, &ta.public_key(), registry.crl(), now, window)
-                .expect("finish");
-            assert_eq!(k1.0, k2.0);
-        });
+    let mut entropy = 0u64;
+    suite.bench("handshake/full_exchange", || {
+        entropy += 1;
+        let (init, hello) = Initiator::hello(&alice, now, entropy);
+        let (k1, accept) =
+            respond(&hello, &bob, &ta.public_key(), registry.crl(), now, window, entropy + 1)
+                .expect("respond");
+        let k2 =
+            init.finish(&accept, &ta.public_key(), registry.crl(), now, window).expect("finish");
+        assert_eq!(k1.0, k2.0);
     });
-}
 
-fn bench_delegation(c: &mut Criterion) {
+    // ---- delegation chains ----
     let owner = SigningKey::from_seed(b"owner");
     let far = SimTime::from_secs(100_000);
-    // Build a 3-link chain.
     let keys: Vec<SigningKey> = (0..3u8).map(|i| SigningKey::from_seed(&[i, 3])).collect();
-    let g1 = grant(
-        &owner,
-        1,
-        keys[0].verifying_key(),
-        vec![Action::Read, Action::Delegate],
-        3,
-        far,
-    );
-    let g2 = grant(&keys[0], 1, keys[1].verifying_key(), vec![Action::Read, Action::Delegate], 2, far);
+    let g1 =
+        grant(&owner, 1, keys[0].verifying_key(), vec![Action::Read, Action::Delegate], 3, far);
+    let g2 =
+        grant(&keys[0], 1, keys[1].verifying_key(), vec![Action::Read, Action::Delegate], 2, far);
     let g3 = grant(&keys[1], 1, keys[2].verifying_key(), vec![Action::Read], 1, far);
     let chain = DelegationChain { grants: vec![g1, g2, g3] };
-    c.bench_function("delegation/verify_3_links", |b| {
-        b.iter(|| {
-            verify_chain(black_box(&chain), &owner.verifying_key(), 1, SimTime::from_secs(1))
-                .expect("valid")
-        });
+    suite.bench("delegation/verify_3_links", || {
+        verify_chain(black_box(&chain), &owner.verifying_key(), 1, SimTime::from_secs(1))
+            .expect("valid")
     });
-}
 
-fn bench_checkpoint(c: &mut Criterion) {
+    // ---- checkpoint handover ----
     let rx = EphemeralSecret::from_seed(b"rx");
     let cp = Checkpoint { task: TaskId(1), done_gflop: 100.0, state: vec![0u8; 16_384] };
-    c.bench_function("checkpoint/seal_16KiB", |b| {
-        let mut entropy = 0u64;
-        b.iter(|| {
-            entropy += 1;
-            seal_checkpoint(black_box(&cp), VehicleId(1), VehicleId(2), &rx.public_share(), entropy)
-        });
+    let mut cp_entropy = 0u64;
+    suite.bench("checkpoint/seal_16KiB", || {
+        cp_entropy += 1;
+        seal_checkpoint(black_box(&cp), VehicleId(1), VehicleId(2), &rx.public_share(), cp_entropy)
     });
     let sealed = seal_checkpoint(&cp, VehicleId(1), VehicleId(2), &rx.public_share(), 7);
-    c.bench_function("checkpoint/open_16KiB", |b| {
-        b.iter(|| open_checkpoint(black_box(&sealed), &rx).expect("opens"));
+    suite.bench("checkpoint/open_16KiB", || {
+        open_checkpoint(black_box(&sealed), &rx).expect("opens")
     });
-}
 
-fn bench_credit(c: &mut Criterion) {
+    // ---- credit notes ----
     let mut bank = CreditBank::new(b"bank");
     let earn = SigningKey::from_seed(b"earn");
     let spend = SigningKey::from_seed(b"spend");
-    c.bench_function("credit/issue", |b| {
-        b.iter(|| bank.issue(earn.verifying_key(), 10, vc_auth::pseudonym::PseudonymId(1)));
+    suite.bench("credit/issue", || {
+        bank.issue(earn.verifying_key(), 10, vc_auth::pseudonym::PseudonymId(1))
     });
     let note = bank.issue(earn.verifying_key(), 10, vc_auth::pseudonym::PseudonymId(1));
     let moved = transfer(&note, &earn, spend.verifying_key()).unwrap();
-    c.bench_function("credit/validate_1_endorsement", |b| {
-        b.iter(|| bank.validate(black_box(&moved)).expect("valid"));
+    suite.bench("credit/validate_1_endorsement", || {
+        bank.validate(black_box(&moved)).expect("valid")
     });
-}
 
-fn bench_wire(c: &mut Criterion) {
-    use vc_net::beacon::{sign_beacon, Beacon};
-    use vc_net::wire::{decode_beacon, encode_beacon};
-    use vc_sim::geom::Point;
-    let key = SigningKey::from_seed(b"wire-bench");
-    let sb = sign_beacon(
-        Beacon {
-            sender: VehicleId(1),
-            pos: Point::new(1.0, 2.0),
-            vel: Point::new(30.0, 0.0),
-            sent_at: SimTime::from_secs(1),
-        },
-        &key,
-    );
-    c.bench_function("wire/encode_beacon", |b| {
-        b.iter(|| encode_beacon(black_box(&sb)));
-    });
-    let frame = encode_beacon(&sb);
-    c.bench_function("wire/decode_beacon", |b| {
-        b.iter(|| decode_beacon(black_box(frame.clone())).expect("decodes"));
-    });
-}
+    // ---- wire encoding ----
+    {
+        use vc_net::beacon::{sign_beacon, Beacon};
+        use vc_net::wire::{decode_beacon, encode_beacon};
+        use vc_sim::geom::Point;
+        let key = SigningKey::from_seed(b"wire-bench");
+        let sb = sign_beacon(
+            Beacon {
+                sender: VehicleId(1),
+                pos: Point::new(1.0, 2.0),
+                vel: Point::new(30.0, 0.0),
+                sent_at: SimTime::from_secs(1),
+            },
+            &key,
+        );
+        suite.bench("wire/encode_beacon", || encode_beacon(black_box(&sb)));
+        let frame = encode_beacon(&sb);
+        suite.bench("wire/decode_beacon", || decode_beacon(black_box(&frame)).expect("decodes"));
+    }
 
-criterion_group!(
-    benches,
-    bench_batch_verify,
-    bench_handshake,
-    bench_delegation,
-    bench_checkpoint,
-    bench_credit,
-    bench_wire
-);
-criterion_main!(benches);
+    suite.finish();
+}

@@ -1,16 +1,15 @@
-//! Criterion benches for clustering and routing rounds — the per-round cost
+//! Micro-benches for clustering and routing rounds — the per-round cost
 //! basis of experiment E8.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 use vc_net::cluster::{form_clusters, ClusterConfig};
 use vc_net::netsim::NetSim;
-use vc_net::routing::{ClusterRouting, Epidemic, GreedyGeo, MozoRouting};
+use vc_net::routing::{ClusterRouting, Epidemic, GreedyGeo, MozoRouting, RoutingProtocol};
 use vc_net::world::WorldView;
 use vc_sim::geom::Point;
 use vc_sim::radio::NeighborTable;
 use vc_sim::rng::SimRng;
 use vc_sim::scenario::ScenarioBuilder;
+use vc_testkit::bench::{black_box, Suite};
 
 struct Snapshot {
     positions: Vec<Point>,
@@ -21,28 +20,39 @@ struct Snapshot {
 
 fn snapshot(n: usize) -> Snapshot {
     let mut rng = SimRng::seed_from(7);
-    let positions: Vec<Point> =
-        (0..n).map(|_| Point::new(rng.range_f64(0.0, 1200.0), rng.range_f64(0.0, 1200.0))).collect();
-    let velocities: Vec<Point> =
-        (0..n).map(|_| Point::new(rng.range_f64(-20.0, 20.0), rng.range_f64(-20.0, 20.0))).collect();
+    let positions: Vec<Point> = (0..n)
+        .map(|_| Point::new(rng.range_f64(0.0, 1200.0), rng.range_f64(0.0, 1200.0)))
+        .collect();
+    let velocities: Vec<Point> = (0..n)
+        .map(|_| Point::new(rng.range_f64(-20.0, 20.0), rng.range_f64(-20.0, 20.0)))
+        .collect();
     let online = vec![true; n];
     let table = NeighborTable::build(&positions, &online, 300.0);
     Snapshot { positions, velocities, online, table }
 }
 
-fn bench_neighbor_table(c: &mut Criterion) {
-    let mut group = c.benchmark_group("neighbor_table/build");
-    for n in [50usize, 200, 800] {
-        let snap = snapshot(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &snap, |b, s| {
-            b.iter(|| NeighborTable::build(black_box(&s.positions), &s.online, 300.0));
-        });
-    }
-    group.finish();
+fn routing_rounds<P: RoutingProtocol>(proto: P) -> u64 {
+    let mut builder = ScenarioBuilder::new();
+    builder.seed(3).vehicles(60);
+    let mut scenario = builder.urban_with_rsus();
+    let mut sim = NetSim::new(&mut scenario, proto);
+    sim.send_random_pairs(10, 256);
+    sim.run_rounds(20);
+    sim.stats().delivered
 }
 
-fn bench_clustering(c: &mut Criterion) {
-    let mut group = c.benchmark_group("clustering/form");
+fn main() {
+    let mut suite = Suite::new("netcluster");
+
+    // ---- neighbor table construction ----
+    for n in [50usize, 200, 800] {
+        let snap = snapshot(n);
+        suite.bench(&format!("neighbor_table/build/{n}"), || {
+            NeighborTable::build(black_box(&snap.positions), &snap.online, 300.0)
+        });
+    }
+
+    // ---- cluster formation ----
     for n in [50usize, 200] {
         let snap = snapshot(n);
         let world = WorldView {
@@ -51,40 +61,23 @@ fn bench_clustering(c: &mut Criterion) {
             online: &snap.online,
             neighbors: &snap.table,
         };
-        group.bench_function(BenchmarkId::new("multi_hop", n), |b| {
-            b.iter(|| form_clusters(black_box(&world), &ClusterConfig::multi_hop()));
+        suite.bench(&format!("clustering/form/multi_hop/{n}"), || {
+            form_clusters(black_box(&world), &ClusterConfig::multi_hop())
         });
-        group.bench_function(BenchmarkId::new("moving_zone", n), |b| {
-            b.iter(|| form_clusters(black_box(&world), &ClusterConfig::moving_zone()));
+        suite.bench(&format!("clustering/form/moving_zone/{n}"), || {
+            form_clusters(black_box(&world), &ClusterConfig::moving_zone())
         });
     }
-    group.finish();
-}
 
-fn bench_routing_rounds(c: &mut Criterion) {
-    let mut group = c.benchmark_group("routing/20_rounds_60_vehicles");
-    group.sample_size(20);
-    macro_rules! bench_proto {
-        ($name:literal, $proto:expr) => {
-            group.bench_function($name, |b| {
-                b.iter(|| {
-                    let mut builder = ScenarioBuilder::new();
-                    builder.seed(3).vehicles(60);
-                    let mut scenario = builder.urban_with_rsus();
-                    let mut sim = NetSim::new(&mut scenario, $proto);
-                    sim.send_random_pairs(10, 256);
-                    sim.run_rounds(20);
-                    black_box(sim.stats().delivered)
-                });
-            });
-        };
-    }
-    bench_proto!("epidemic", Epidemic);
-    bench_proto!("greedy", GreedyGeo);
-    bench_proto!("cluster", ClusterRouting::new());
-    bench_proto!("mozo", MozoRouting::new());
-    group.finish();
-}
+    // ---- full routing rounds (20 rounds, 60 vehicles) ----
+    suite.bench("routing/20_rounds_60_vehicles/epidemic", || black_box(routing_rounds(Epidemic)));
+    suite.bench("routing/20_rounds_60_vehicles/greedy", || black_box(routing_rounds(GreedyGeo)));
+    suite.bench("routing/20_rounds_60_vehicles/cluster", || {
+        black_box(routing_rounds(ClusterRouting::new()))
+    });
+    suite.bench("routing/20_rounds_60_vehicles/mozo", || {
+        black_box(routing_rounds(MozoRouting::new()))
+    });
 
-criterion_group!(benches, bench_neighbor_table, bench_clustering, bench_routing_rounds);
-criterion_main!(benches);
+    suite.finish();
+}

@@ -1,71 +1,55 @@
-//! Criterion benches for the simulation kernel: event throughput, mobility
+//! Micro-benches for the simulation kernel: event throughput, mobility
 //! stepping, RNG draws.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::hint::black_box;
 use vc_sim::event::EventQueue;
 use vc_sim::mobility::Fleet;
 use vc_sim::rng::SimRng;
 use vc_sim::roadnet::RoadNetwork;
 use vc_sim::time::SimTime;
+use vc_testkit::bench::{black_box, Suite};
 
-fn bench_event_queue(c: &mut Criterion) {
-    let mut group = c.benchmark_group("event_queue/schedule_pop");
+fn main() {
+    let mut suite = Suite::new("simcore");
+
+    // ---- event queue schedule+pop ----
     for n in [1_000usize, 10_000] {
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                let mut q = EventQueue::new();
-                let mut rng = SimRng::seed_from(1);
-                for i in 0..n {
-                    q.schedule(SimTime::from_micros(rng.range_u64(0, 1_000_000)), i);
-                }
-                let mut count = 0;
-                while q.pop().is_some() {
-                    count += 1;
-                }
-                black_box(count)
-            });
+        suite.bench_elems(&format!("event_queue/schedule_pop/{n}"), n as u64, || {
+            let mut q = EventQueue::new();
+            let mut rng = SimRng::seed_from(1);
+            for i in 0..n {
+                q.schedule(SimTime::from_micros(rng.range_u64(0, 1_000_000)), i);
+            }
+            let mut count = 0;
+            while q.pop().is_some() {
+                count += 1;
+            }
+            black_box(count)
         });
     }
-    group.finish();
-}
 
-fn bench_fleet_step(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fleet/step");
+    // ---- mobility stepping ----
     for n in [50usize, 400] {
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let net = RoadNetwork::grid(8, 8, 150.0, 13.9);
-            let mut rng = SimRng::seed_from(2);
-            let mut fleet = Fleet::urban(&net, n, &mut rng);
-            b.iter(|| {
-                fleet.step(0.5, &net, &mut rng);
-                black_box(fleet.len())
-            });
+        let net = RoadNetwork::grid(8, 8, 150.0, 13.9);
+        let mut rng = SimRng::seed_from(2);
+        let mut fleet = Fleet::urban(&net, n, &mut rng);
+        suite.bench_elems(&format!("fleet/step/{n}"), n as u64, || {
+            fleet.step(0.5, &net, &mut rng);
+            black_box(fleet.len())
         });
     }
-    group.finish();
-}
 
-fn bench_shortest_path(c: &mut Criterion) {
+    // ---- routing on the road graph ----
     let net = RoadNetwork::grid(20, 20, 100.0, 13.9);
     let from = net.intersections()[0].id;
     let to = net.intersections()[399].id;
-    c.bench_function("roadnet/shortest_path_20x20", |b| {
-        b.iter(|| net.shortest_path(black_box(from), black_box(to)));
-    });
-}
+    suite
+        .bench("roadnet/shortest_path_20x20", || net.shortest_path(black_box(from), black_box(to)));
 
-fn bench_rng(c: &mut Criterion) {
+    // ---- rng ----
     let mut rng = SimRng::seed_from(3);
-    c.bench_function("rng/next_u64", |b| {
-        b.iter(|| black_box(rng.next_u64()));
-    });
-    c.bench_function("rng/normal", |b| {
-        b.iter(|| black_box(rng.normal(0.0, 1.0)));
-    });
-}
+    suite.bench("rng/next_u64", || black_box(rng.next_u64()));
+    let mut rng2 = SimRng::seed_from(3);
+    suite.bench("rng/normal", || black_box(rng2.normal(0.0, 1.0)));
 
-criterion_group!(benches, bench_event_queue, bench_fleet_step, bench_shortest_path, bench_rng);
-criterion_main!(benches);
+    suite.finish();
+}

@@ -28,7 +28,7 @@ fn main() {
                 }));
             }
             flag if flag.starts_with("--") => {
-                eprintln!("unknown flag {flag}; usage: experiments [--quick] [--seed N] [--json DIR] [e1..e13 ...]");
+                eprintln!("unknown flag {flag}; usage: experiments [--quick] [--seed N] [--json DIR] [e1..e15 ...]");
                 std::process::exit(2);
             }
             id => wanted.push(id.to_lowercase()),
@@ -42,7 +42,7 @@ fn main() {
         .collect();
 
     if selected.is_empty() {
-        eprintln!("no experiments matched {wanted:?}; known: e1..e13");
+        eprintln!("no experiments matched {wanted:?}; known: e1..e15");
         std::process::exit(2);
     }
 
@@ -60,23 +60,27 @@ fn main() {
     let (concurrent, sequential): (Vec<_>, Vec<_>) =
         selected.into_iter().partition(|e| !timed.contains(&e.id));
 
-    let results: parking_lot::Mutex<Vec<(usize, &'static str, vc_bench::Table, f64)>> =
-        parking_lot::Mutex::new(Vec::new());
-    crossbeam::thread::scope(|scope| {
+    let results: std::sync::Mutex<Vec<(usize, &'static str, vc_bench::Table, f64)>> =
+        std::sync::Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
         for (order, exp) in concurrent.iter().enumerate() {
             let results = &results;
             let run = exp.run;
             let id = exp.id;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let start = std::time::Instant::now();
                 let table = run(quick, seed);
-                results.lock().push((order, id, table, start.elapsed().as_secs_f64()));
+                results.lock().expect("no experiment panicked while publishing").push((
+                    order,
+                    id,
+                    table,
+                    start.elapsed().as_secs_f64(),
+                ));
             });
         }
-    })
-    .expect("experiment thread panicked");
+    });
 
-    let mut done = results.into_inner();
+    let mut done = results.into_inner().expect("no experiment panicked");
     done.sort_by_key(|(order, _, _, _)| *order);
     let emit = |id: &str, table: &vc_bench::Table, secs: f64| {
         println!("{}", table.render());
@@ -85,8 +89,7 @@ fn main() {
             std::fs::create_dir_all(dir).expect("create json dir");
             let path = format!("{dir}/{id}.json");
             let mut f = std::fs::File::create(&path).expect("create json file");
-            writeln!(f, "{}", serde_json::to_string_pretty(&table.to_json()).expect("serialize"))
-                .expect("write json");
+            writeln!(f, "{}", table.to_json().to_string_pretty()).expect("write json");
         }
     };
     for (_, id, table, secs) in &done {

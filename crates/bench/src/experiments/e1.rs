@@ -21,7 +21,10 @@ pub fn run(quick: bool, seed: u64) -> Table {
     let churn_ticks = if quick { 60 } else { 240 };
     let regimes = [
         RegimeSetup { name: "stationary (conventional-like)", kind: ArchitectureKind::Stationary },
-        RegimeSetup { name: "infrastructure (mobile-like)", kind: ArchitectureKind::InfrastructureBased },
+        RegimeSetup {
+            name: "infrastructure (mobile-like)",
+            kind: ArchitectureKind::InfrastructureBased,
+        },
         RegimeSetup { name: "dynamic (vehicular)", kind: ArchitectureKind::Dynamic },
     ];
 
@@ -51,13 +54,9 @@ pub fn run(quick: bool, seed: u64) -> Table {
         // Warm up mobility.
         scenario.run_ticks(20);
 
-        let mean_speed = scenario
-            .fleet
-            .vehicles()
-            .iter()
-            .map(|v| v.kinematics.speed())
-            .sum::<f64>()
-            / scenario.fleet.len() as f64;
+        let mean_speed =
+            scenario.fleet.vehicles().iter().map(|v| v.kinematics.speed()).sum::<f64>()
+                / scenario.fleet.len() as f64;
 
         let covered = scenario
             .fleet

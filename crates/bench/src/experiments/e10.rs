@@ -102,7 +102,8 @@ pub fn run(quick: bool, seed: u64) -> Table {
 
     let vehicles = if quick { 30 } else { 60 };
     let track_static = tracking_accuracy(IdScheme::StaticPseudonym, vehicles, 20, &mut rng);
-    let track_rot = tracking_accuracy(IdScheme::RotatingPseudonym { period: 4 }, vehicles, 20, &mut rng);
+    let track_rot =
+        tracking_accuracy(IdScheme::RotatingPseudonym { period: 4 }, vehicles, 20, &mut rng);
     table.row(vec![
         "movement tracking".into(),
         pct(track_static),

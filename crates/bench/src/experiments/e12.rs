@@ -35,11 +35,8 @@ pub fn run(quick: bool, seed: u64) -> Table {
 
     let keys: Vec<SigningKey> =
         (0..pool).map(|i| SigningKey::from_seed(&[i as u8, 0xE1, 0x2C])).collect();
-    let directory: BTreeMap<VehicleId, _> = keys
-        .iter()
-        .enumerate()
-        .map(|(i, k)| (VehicleId(i as u32), k.verifying_key()))
-        .collect();
+    let directory: BTreeMap<VehicleId, _> =
+        keys.iter().enumerate().map(|(i, k)| (VehicleId(i as u32), k.verifying_key())).collect();
 
     let mut rng = SimRng::seed_from(seed);
     for cheater_fraction in [0.1, 0.2, 0.3] {

@@ -56,7 +56,8 @@ pub fn run(quick: bool, seed: u64) -> Table {
         let mut adaptive_sum = 0.0;
         let mut adaptive_vcloud = 0usize;
         for _ in 0..trials {
-            sums[0] += expected_latency(&task, OffloadTarget::Local, &ctx, &mut rng).expect("local");
+            sums[0] +=
+                expected_latency(&task, OffloadTarget::Local, &ctx, &mut rng).expect("local");
             sums[1] +=
                 expected_latency(&task, OffloadTarget::VehicularCloud, &ctx, &mut rng).expect("vc");
             if let Some(l) = expected_latency(&task, OffloadTarget::Cellular, &ctx, &mut rng) {

@@ -35,14 +35,7 @@ pub fn run(quick: bool, seed: u64) -> Table {
         "E14",
         "routing under urban-canyon obstruction",
         "§IV-A.1 street-centric routing family (IDVR/CBLTR) + canyon radio",
-        &[
-            "vehicles",
-            "protocol",
-            "delivery",
-            "mean delay s",
-            "mean hops",
-            "tx per delivery",
-        ],
+        &["vehicles", "protocol", "delivery", "mean delay s", "mean hops", "tx per delivery"],
     );
 
     let roadnet = {
@@ -55,7 +48,10 @@ pub fn run(quick: bool, seed: u64) -> Table {
         let runs: Vec<(&str, RoutingStats)> = vec![
             ("epidemic", run_protocol(seed, n, packets, rounds, Epidemic)),
             ("greedy-geo", run_protocol(seed, n, packets, rounds, GreedyGeo)),
-            ("street-aware", run_protocol(seed, n, packets, rounds, StreetAware::new(roadnet.clone()))),
+            (
+                "street-aware",
+                run_protocol(seed, n, packets, rounds, StreetAware::new(roadnet.clone())),
+            ),
             ("mozo", run_protocol(seed, n, packets, rounds, MozoRouting::new())),
         ];
         for (name, stats) in runs {

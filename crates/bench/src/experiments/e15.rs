@@ -30,11 +30,10 @@ pub fn run(quick: bool, seed: u64) -> Table {
         ],
     );
 
-    for (scenario_name, make) in [
-        ("urban", 0u8),
-        ("highway", 1u8),
-    ] {
-        for (strategy, maintained_mode) in [("re-elect each round", false), ("maintain (quorum 0.5)", true)] {
+    for (scenario_name, make) in [("urban", 0u8), ("highway", 1u8)] {
+        for (strategy, maintained_mode) in
+            [("re-elect each round", false), ("maintain (quorum 0.5)", true)]
+        {
             let mut builder = ScenarioBuilder::new();
             builder.seed(seed).vehicles(vehicles);
             let mut scenario =
@@ -67,9 +66,8 @@ pub fn run(quick: bool, seed: u64) -> Table {
                     churn_sum += head_churn(prev, &next, vehicles);
                 }
                 // Broker = head of the largest cluster.
-                let broker = next
-                    .heads()
-                    .max_by_key(|&h| (next.members(h).len(), std::cmp::Reverse(h)));
+                let broker =
+                    next.heads().max_by_key(|&h| (next.members(h).len(), std::cmp::Reverse(h)));
                 if broker != last_broker && last_broker.is_some() {
                     broker_changes += 1;
                 }

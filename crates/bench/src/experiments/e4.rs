@@ -54,7 +54,8 @@ pub fn run(quick: bool, seed: u64) -> Table {
     });
     let msg = wallet.sign(b"beacon payload 0123456789", now);
     let verify_ms = bench(iters, || {
-        vc_auth::pseudonym::verify(&msg, &ta.public_key(), registry.crl(), now, window).expect("ok");
+        vc_auth::pseudonym::verify(&msg, &ta.public_key(), registry.crl(), now, window)
+            .expect("ok");
     });
     // Grow the CRL to a deployment-scale revocation pool (one linkage seed
     // per revoked vehicle; each costs the verifier a keyed hash per message).
@@ -66,7 +67,8 @@ pub fn run(quick: bool, seed: u64) -> Table {
     }
     let crl_len = registry.crl().len();
     let verify_crl_ms = bench(iters, || {
-        vc_auth::pseudonym::verify(&msg, &ta.public_key(), registry.crl(), now, window).expect("ok");
+        vc_auth::pseudonym::verify(&msg, &ta.public_key(), registry.crl(), now, window)
+            .expect("ok");
     });
     let rot_period = 4;
     let mut rng = SimRng::seed_from(seed);
@@ -124,12 +126,8 @@ pub fn run(quick: bool, seed: u64) -> Table {
         vc_auth::hybrid::verify(&hmsg, &issuer.public_key(), now, window).expect("ok");
     });
     let mut rng = SimRng::seed_from(seed + 2);
-    let hybrid_tracking = tracking_accuracy(
-        IdScheme::RotatingPseudonym { period: 2 },
-        track_vehicles,
-        20,
-        &mut rng,
-    );
+    let hybrid_tracking =
+        tracking_accuracy(IdScheme::RotatingPseudonym { period: 2 }, track_vehicles, 20, &mut rng);
     table.row(vec![
         "hybrid".into(),
         f3(h_sign_ms),

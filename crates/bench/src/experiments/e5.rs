@@ -93,13 +93,7 @@ pub fn run(quick: bool, seed: u64) -> Table {
         for &x in xs.iter() {
             s.record(x);
         }
-        table.row(vec![
-            name.to_owned(),
-            f3(s.p50()),
-            f3(s.p95()),
-            f3(s.p99()),
-            unit.to_owned(),
-        ]);
+        table.row(vec![name.to_owned(), f3(s.p50()), f3(s.p95()), f3(s.p99()), unit.to_owned()]);
     };
     push("admission (auth + token)", &mut admit_ms, "ms compute");
     push("authorization (proof + policy + unseal)", &mut authorize_ms, "ms compute");

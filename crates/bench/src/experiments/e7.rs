@@ -18,20 +18,17 @@ pub fn run(quick: bool, seed: u64) -> Table {
         "E7",
         "replica count vs file availability",
         "§III-A (file replication for availability)",
-        &[
-            "replicas",
-            "placement",
-            "measured availability",
-            "analytic 1-p^r",
-            "with repair",
-        ],
+        &["replicas", "placement", "measured availability", "analytic 1-p^r", "with repair"],
     );
 
     let mut rng = SimRng::seed_from(seed);
     // Stay estimates correlate with actual offline probability: long-stayers
     // are half as likely to churn (what stability-ranked placement exploits).
     let hosts: Vec<ReplicaHost> = (0..pool)
-        .map(|i| ReplicaHost { id: VehicleId(i as u32), stay_estimate_s: rng.range_f64(10.0, 600.0) })
+        .map(|i| ReplicaHost {
+            id: VehicleId(i as u32),
+            stay_estimate_s: rng.range_f64(10.0, 600.0),
+        })
         .collect();
     let offline_prob = |h: &ReplicaHost| {
         if h.stay_estimate_s > 300.0 {

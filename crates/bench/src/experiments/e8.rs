@@ -35,14 +35,7 @@ pub fn run(quick: bool, seed: u64) -> Table {
         "E8",
         "routing protocols across density",
         "§IV-A.1 (cluster/zone routing vs flooding and greedy-geographic)",
-        &[
-            "vehicles",
-            "protocol",
-            "delivery",
-            "mean delay s",
-            "mean hops",
-            "tx per delivery",
-        ],
+        &["vehicles", "protocol", "delivery", "mean delay s", "mean hops", "tx per delivery"],
     );
 
     for &n in densities {
@@ -66,16 +59,24 @@ pub fn run(quick: bool, seed: u64) -> Table {
     // Ablation (DESIGN.md §5): cluster-head election score weights. Same
     // cluster routing, three weightings, plus head-churn measured directly.
     let ablation_n = if quick { 40 } else { 60 };
-    for (label, w_degree, w_stability) in
-        [("cluster w=degree-only", 1.0, 0.0), ("cluster w=stability-only", 0.0, 2.0), ("cluster w=mixed", 1.0, 1.0)]
-    {
+    for (label, w_degree, w_stability) in [
+        ("cluster w=degree-only", 1.0, 0.0),
+        ("cluster w=stability-only", 0.0, 2.0),
+        ("cluster w=mixed", 1.0, 1.0),
+    ] {
         let cfg = vc_net::cluster::ClusterConfig {
             max_hops: 2,
             weight_degree: w_degree,
             weight_stability: w_stability,
             velocity_similarity: None,
         };
-        let stats = run_protocol(seed, ablation_n, packets, rounds, ClusterRouting::with_config(cfg.clone()));
+        let stats = run_protocol(
+            seed,
+            ablation_n,
+            packets,
+            rounds,
+            ClusterRouting::with_config(cfg.clone()),
+        );
         // Head churn under the same weighting, measured over mobility.
         let churn = {
             let mut builder = ScenarioBuilder::new();

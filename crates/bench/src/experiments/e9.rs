@@ -48,11 +48,7 @@ fn make_reports(
             claim: !truth,
             reporter_pos: Point::new(rng.range_f64(-50.0, 50.0), rng.range_f64(-50.0, 50.0)),
             reporter_speed: rng.range_f64(5.0, 25.0),
-            path: if colluding {
-                shared_path.clone()
-            } else {
-                vec![VehicleId(1000 + l as u32)]
-            },
+            path: if colluding { shared_path.clone() } else { vec![VehicleId(1000 + l as u32)] },
         });
         if reputation_warm && reputation.evidence(1000 + l) == 0.0 {
             for _ in 0..4 {
@@ -129,7 +125,8 @@ pub fn run(quick: bool, seed: u64) -> Table {
                 reports.push(Report {
                     reporter: e as u64 * 10 + r,
                     kind: EventKind::Accident,
-                    location: center + Point::new(rng.range_f64(-30.0, 30.0), rng.range_f64(-30.0, 30.0)),
+                    location: center
+                        + Point::new(rng.range_f64(-30.0, 30.0), rng.range_f64(-30.0, 30.0)),
                     observed_at: SimTime::from_secs(10 + r),
                     claim: true,
                     reporter_pos: center,

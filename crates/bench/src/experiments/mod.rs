@@ -56,7 +56,10 @@ mod tests {
         let ids: Vec<&str> = registry().iter().map(|e| e.id).collect();
         assert_eq!(
             ids,
-            vec!["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15"]
+            vec![
+                "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+                "e14", "e15"
+            ]
         );
     }
 }

@@ -1,10 +1,10 @@
 //! Experiment output tables: aligned text for the terminal, JSON for
 //! EXPERIMENTS.md artifacts.
 
-use serde::Serialize;
+use vc_testkit::json::Json;
 
 /// One experiment's result table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Experiment id, e.g. "E4".
     pub id: String,
@@ -82,9 +82,19 @@ impl Table {
         out
     }
 
-    /// The JSON artifact form.
-    pub fn to_json(&self) -> serde_json::Value {
-        serde_json::to_value(self).expect("table serializes")
+    /// The JSON artifact form. Key and row order are deterministic, so two
+    /// identically-seeded runs produce byte-identical artifacts (the CI
+    /// determinism gate diffs this output).
+    pub fn to_json(&self) -> Json {
+        let strings = |xs: &[String]| Json::array(xs.iter().map(|s| Json::from(s.as_str())));
+        Json::object([
+            ("id", Json::from(self.id.as_str())),
+            ("title", Json::from(self.title.as_str())),
+            ("paper_anchor", Json::from(self.paper_anchor.as_str())),
+            ("columns", strings(&self.columns)),
+            ("rows", Json::array(self.rows.iter().map(|r| strings(r)))),
+            ("notes", strings(&self.notes)),
+        ])
     }
 }
 

@@ -35,12 +35,7 @@ fn every_experiment_produces_well_formed_tables() {
         assert!(!table.columns.is_empty(), "{} has no columns", exp.id);
         assert!(!table.rows.is_empty(), "{} has no rows", exp.id);
         for (i, row) in table.rows.iter().enumerate() {
-            assert_eq!(
-                row.len(),
-                table.columns.len(),
-                "{} row {i} width mismatch",
-                exp.id
-            );
+            assert_eq!(row.len(), table.columns.len(), "{} row {i} width mismatch", exp.id);
         }
         assert!(!table.paper_anchor.is_empty(), "{} lacks a paper anchor", exp.id);
         assert!(table.id.eq_ignore_ascii_case(exp.id));

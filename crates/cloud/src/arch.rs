@@ -64,7 +64,9 @@ pub fn membership(kind: ArchitectureKind, scenario: &Scenario) -> Membership {
                 .fleet
                 .vehicles()
                 .iter()
-                .filter(|v| v.online && matches!(v.mobility, vc_sim::mobility::Mobility::Parked { .. }))
+                .filter(|v| {
+                    v.online && matches!(v.mobility, vc_sim::mobility::Mobility::Parked { .. })
+                })
                 .map(|v| v.id())
                 .collect();
             let center = centroid(scenario, &members);
@@ -106,7 +108,8 @@ pub fn membership(kind: ArchitectureKind, scenario: &Scenario) -> Membership {
                         broker: Some(head),
                         members,
                         center,
-                        radius: scenario.channel.range_m * ClusterConfig::multi_hop().max_hops as f64,
+                        radius: scenario.channel.range_m
+                            * ClusterConfig::multi_hop().max_hops as f64,
                     }
                 }
                 None => Membership::default(),
@@ -168,7 +171,12 @@ pub struct CloudSim<E: StayEstimator> {
 
 impl<E: StayEstimator> CloudSim<E> {
     /// Creates a cloud simulation.
-    pub fn new(scenario: Scenario, kind: ArchitectureKind, config: SchedulerConfig, estimator: E) -> Self {
+    pub fn new(
+        scenario: Scenario,
+        kind: ArchitectureKind,
+        config: SchedulerConfig,
+        estimator: E,
+    ) -> Self {
         CloudSim {
             scenario,
             kind,
@@ -190,7 +198,12 @@ impl<E: StayEstimator> CloudSim<E> {
     }
 
     /// Submits `n` identical compute tasks, returning their ids.
-    pub fn submit_batch(&mut self, n: usize, work_gflop: f64, deadline: Option<SimDuration>) -> Vec<TaskId> {
+    pub fn submit_batch(
+        &mut self,
+        n: usize,
+        work_gflop: f64,
+        deadline: Option<SimDuration>,
+    ) -> Vec<TaskId> {
         (0..n)
             .map(|_| {
                 let id = TaskId(self.next_task);

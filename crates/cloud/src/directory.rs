@@ -95,9 +95,7 @@ impl ResourceDirectory {
 
     /// Free compute on a host, GFLOPS (0 for unknown hosts).
     pub fn free_cpu(&self, host: VehicleId) -> f64 {
-        self.entries
-            .get(&host)
-            .map_or(0.0, |e| (e.resources.cpu_gflops - e.reserved_cpu).max(0.0))
+        self.entries.get(&host).map_or(0.0, |e| (e.resources.cpu_gflops - e.reserved_cpu).max(0.0))
     }
 
     /// Free storage on a host, GB (0 for unknown hosts).
@@ -123,7 +121,12 @@ impl ResourceDirectory {
 
     /// Reserves capacity on a specific host; `None` when it cannot satisfy
     /// the amounts.
-    pub fn reserve(&mut self, host: VehicleId, cpu_gflops: f64, storage_gb: f64) -> Option<Reservation> {
+    pub fn reserve(
+        &mut self,
+        host: VehicleId,
+        cpu_gflops: f64,
+        storage_gb: f64,
+    ) -> Option<Reservation> {
         let entry = self.entries.get_mut(&host)?;
         if entry.resources.cpu_gflops - entry.reserved_cpu < cpu_gflops
             || entry.resources.storage_gb - entry.reserved_storage < storage_gb

@@ -90,7 +90,13 @@ pub fn seal_checkpoint(
     let eph = EphemeralSecret::from_seed(&seed);
     let key = eph.agree(recipient_share, b"vc-checkpoint");
     let sealed = aead_seal(&key.0, &[0u8; 12], &checkpoint.encode());
-    SealedCheckpoint { task: checkpoint.task, from, to, eph_share: eph.public_share().to_bytes(), sealed }
+    SealedCheckpoint {
+        task: checkpoint.task,
+        from,
+        to,
+        eph_share: eph.public_share().to_bytes(),
+        sealed,
+    }
 }
 
 /// Opens a sealed checkpoint with the recipient's long-term DH secret.
@@ -125,7 +131,8 @@ mod tests {
     #[test]
     fn roundtrip() {
         let rx = recipient(1);
-        let sealed = seal_checkpoint(&checkpoint(), VehicleId(1), VehicleId(2), &rx.public_share(), 42);
+        let sealed =
+            seal_checkpoint(&checkpoint(), VehicleId(1), VehicleId(2), &rx.public_share(), 42);
         let opened = open_checkpoint(&sealed, &rx).unwrap();
         assert_eq!(opened, checkpoint());
         assert!(sealed.wire_len() > 5 + 32);
@@ -135,7 +142,8 @@ mod tests {
     fn wrong_recipient_cannot_open() {
         let rx = recipient(1);
         let thief = recipient(2);
-        let sealed = seal_checkpoint(&checkpoint(), VehicleId(1), VehicleId(2), &rx.public_share(), 42);
+        let sealed =
+            seal_checkpoint(&checkpoint(), VehicleId(1), VehicleId(2), &rx.public_share(), 42);
         assert_eq!(open_checkpoint(&sealed, &thief), None);
     }
 

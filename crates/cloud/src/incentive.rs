@@ -50,7 +50,8 @@ fn issue_bytes(serial: u64, amount: u32, holder: &VerifyingKey) -> Vec<u8> {
 }
 
 fn chain_digest(note: &CreditNote, upto: usize) -> Digest {
-    let mut parts: Vec<Vec<u8>> = vec![issue_bytes(note.serial, note.amount, &original_holder(note))];
+    let mut parts: Vec<Vec<u8>> =
+        vec![issue_bytes(note.serial, note.amount, &original_holder(note))];
     for e in &note.endorsements[..upto] {
         let mut b = e.to.to_bytes().to_vec();
         b.extend_from_slice(&e.signature.to_bytes());
@@ -119,7 +120,12 @@ pub struct CreditBank {
 impl CreditBank {
     /// Creates a bank from seed material.
     pub fn new(seed: &[u8]) -> Self {
-        CreditBank { key: SigningKey::from_seed(seed), next_serial: 1, redeemed: BTreeSet::new(), issued_total: 0 }
+        CreditBank {
+            key: SigningKey::from_seed(seed),
+            next_serial: 1,
+            redeemed: BTreeSet::new(),
+            issued_total: 0,
+        }
     }
 
     /// The bank's public key (vehicles verify notes offline against it).
@@ -136,7 +142,14 @@ impl CreditBank {
         self.next_serial += 1;
         self.issued_total += amount as u64;
         let bank_signature = self.key.sign(&issue_bytes(serial, amount, &holder));
-        CreditNote { serial, amount, holder, bank_signature, endorsements: Vec::new(), original: holder }
+        CreditNote {
+            serial,
+            amount,
+            holder,
+            bank_signature,
+            endorsements: Vec::new(),
+            original: holder,
+        }
     }
 
     /// Validates a note offline (no spend): bank signature + endorsement
@@ -292,7 +305,9 @@ mod tests {
         let mut body = b"vc-credit-endorse".to_vec();
         body.extend_from_slice(&digest);
         body.extend_from_slice(&thief.verifying_key().to_bytes());
-        forged.endorsements.push(Endorsement { to: thief.verifying_key(), signature: thief.sign(&body) });
+        forged
+            .endorsements
+            .push(Endorsement { to: thief.verifying_key(), signature: thief.sign(&body) });
         forged.holder = thief.verifying_key();
         assert_eq!(bank.validate(&forged), Err(CreditError::BadEndorsement));
         let _ = spender;

@@ -163,7 +163,12 @@ impl JobManager {
     /// # Errors
     ///
     /// See [`JobError`].
-    pub fn record_result(&mut self, job: JobId, task: TaskId, result: &[u8]) -> Result<(), JobError> {
+    pub fn record_result(
+        &mut self,
+        job: JobId,
+        task: TaskId,
+        result: &[u8],
+    ) -> Result<(), JobError> {
         let j = self.jobs.get_mut(&job).ok_or(JobError::UnknownJob)?;
         if !j.tasks.contains(&task) {
             return Err(JobError::UnknownTask);
@@ -293,10 +298,7 @@ mod tests {
         let (job, specs) = mgr.create(1, 10.0, Aggregation::Concat, SimTime::ZERO);
         mgr.record_result(job, specs[0].id, b"X").unwrap();
         assert_eq!(mgr.record_result(job, specs[0].id, b"X"), Ok(()), "idempotent");
-        assert_eq!(
-            mgr.record_result(job, specs[0].id, b"Y"),
-            Err(JobError::ConflictingResult)
-        );
+        assert_eq!(mgr.record_result(job, specs[0].id, b"Y"), Err(JobError::ConflictingResult));
     }
 
     #[test]

@@ -55,9 +55,13 @@ pub mod prelude {
     pub use crate::directory::{Requirement, Reservation, ResourceDirectory};
     pub use crate::emergency::{ModeManager, OperatingMode};
     pub use crate::handover::{open_checkpoint, seal_checkpoint, Checkpoint, SealedCheckpoint};
-    pub use crate::incentive::{transfer as credit_transfer, CreditBank, CreditError, CreditNote, Endorsement};
+    pub use crate::incentive::{
+        transfer as credit_transfer, CreditBank, CreditError, CreditNote, Endorsement,
+    };
     pub use crate::jobs::{Aggregation, Job, JobError, JobId, JobManager, JobResult};
-    pub use crate::offload::{decide as offload_decide, expected_latency, OffloadContext, OffloadTarget, OffloadTask};
+    pub use crate::offload::{
+        decide as offload_decide, expected_latency, OffloadContext, OffloadTarget, OffloadTask,
+    };
     pub use crate::pipeline::{PipelineError, SecurePipeline, VehicleCredentials};
     pub use crate::replication::{
         analytic_availability, FileId, PlacementStrategy, ReplicaHost, ReplicatedFile,

@@ -157,7 +157,12 @@ mod tests {
         let choice = decide(&task(2000.0), &ctx(&channel, &cellular), &mut rng);
         assert_eq!(choice, OffloadTarget::VehicularCloud);
         assert_eq!(
-            expected_latency(&task(1.0), OffloadTarget::Cellular, &ctx(&channel, &cellular), &mut rng),
+            expected_latency(
+                &task(1.0),
+                OffloadTarget::Cellular,
+                &ctx(&channel, &cellular),
+                &mut rng
+            ),
             None
         );
     }
@@ -169,7 +174,7 @@ mod tests {
         let mut rng = SimRng::seed_from(4);
         let mut c = ctx(&channel, &cellular);
         c.cell_users = 20_000; // pathological event-scale congestion (~40 s mean RTT)
-        // Average over draws: the congested cell should lose most decisions.
+                               // Average over draws: the congested cell should lose most decisions.
         let mut vcloud_wins = 0;
         for _ in 0..100 {
             if decide(&task(2000.0), &c, &mut rng) == OffloadTarget::VehicularCloud {
@@ -197,7 +202,8 @@ mod tests {
         let cellular = Cellular::healthy();
         let mut rng = SimRng::seed_from(6);
         let c = ctx(&channel, &cellular);
-        for target in [OffloadTarget::Local, OffloadTarget::VehicularCloud, OffloadTarget::Cellular] {
+        for target in [OffloadTarget::Local, OffloadTarget::VehicularCloud, OffloadTarget::Cellular]
+        {
             let small = expected_latency(&task(10.0), target, &c, &mut rng).unwrap();
             let big = expected_latency(&task(10_000.0), target, &c, &mut rng).unwrap();
             assert!(small > 0.0);

@@ -150,8 +150,14 @@ impl SecurePipeline {
         service: ServiceId,
         now: SimTime,
     ) -> Result<ServiceToken, PipelineError> {
-        vc_auth::pseudonym::verify(hello, &self.ta.public_key(), self.registry.crl(), now, self.replay_window)
-            .map_err(PipelineError::Auth)?;
+        vc_auth::pseudonym::verify(
+            hello,
+            &self.ta.public_key(),
+            self.registry.crl(),
+            now,
+            self.replay_window,
+        )
+        .map_err(PipelineError::Auth)?;
         let digest = sha256(&[&hello.payload[..], &hello.signature.to_bytes()[..]].concat());
         match self.replay.check(digest, hello.sent_at, now) {
             ReplayVerdict::Fresh => {}
@@ -180,7 +186,14 @@ impl SecurePipeline {
         vc_auth::token::verify_token(token, &self.gateway.public_key(), service, ambient.now)
             .map_err(PipelineError::Auth)?;
         self.tpd
-            .request_access(package, action, proof, &self.issuer.public_key(), ambient, token.holder)
+            .request_access(
+                package,
+                action,
+                proof,
+                &self.issuer.public_key(),
+                ambient,
+                token.holder,
+            )
             .map_err(PipelineError::Access)
     }
 
@@ -296,7 +309,8 @@ mod tests {
         let mut package = DataPackage::seal_new(1, b"x", policy, &owner, &pipeline.tpd_share(), 1);
         let ctx = Context::member_at(Point::new(0.0, 0.0), now);
         let proof = SecurePipeline::make_proof(&creds, 1, now);
-        let res = pipeline.authorize(&mut package, Action::Read, &token, ServiceId(2), &proof, &ctx);
+        let res =
+            pipeline.authorize(&mut package, Action::Read, &token, ServiceId(2), &proof, &ctx);
         assert!(matches!(res, Err(PipelineError::Auth(_))));
     }
 

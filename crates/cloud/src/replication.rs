@@ -84,12 +84,7 @@ impl ReplicationManager {
         let chunks: Vec<&[u8]> = content.chunks(CHUNK).collect();
         let tree = MerkleTree::from_leaves(&chunks);
         let holders = place(replicas, candidates, strategy, rng);
-        let file = ReplicatedFile {
-            id,
-            root: tree.root(),
-            chunk_count: chunks.len(),
-            holders,
-        };
+        let file = ReplicatedFile { id, root: tree.root(), chunk_count: chunks.len(), holders };
         self.files.insert(id, file);
         self.files.get(&id).expect("just inserted")
     }
@@ -101,9 +96,7 @@ impl ReplicationManager {
 
     /// Whether the file is currently readable: at least one holder online.
     pub fn is_available(&self, id: FileId, online: &dyn Fn(VehicleId) -> bool) -> bool {
-        self.files
-            .get(&id)
-            .is_some_and(|f| f.holders.iter().any(|&h| online(h)))
+        self.files.get(&id).is_some_and(|f| f.holders.iter().any(|&h| online(h)))
     }
 
     /// Re-replicates a file back up to `target` holders, choosing new hosts
@@ -194,7 +187,14 @@ mod tests {
     fn publish_places_replicas() {
         let mut mgr = ReplicationManager::new();
         let mut rng = SimRng::seed_from(1);
-        let f = mgr.publish(FileId(1), &[7u8; 10_000], 3, &hosts(10), PlacementStrategy::Random, &mut rng);
+        let f = mgr.publish(
+            FileId(1),
+            &[7u8; 10_000],
+            3,
+            &hosts(10),
+            PlacementStrategy::Random,
+            &mut rng,
+        );
         assert_eq!(f.holders.len(), 3);
         assert_eq!(f.chunk_count, 3, "10 KB in 4 KB chunks");
         // Distinct holders.
@@ -240,7 +240,14 @@ mod tests {
         // Hosts 0..3 hold it; now 0 and 1 go offline, new candidates 5..10 appear.
         let online = |v: VehicleId| v.0 >= 2;
         let new_candidates = hosts(10);
-        let added = mgr.repair(FileId(1), 3, &online, &new_candidates, PlacementStrategy::StabilityRanked, &mut rng);
+        let added = mgr.repair(
+            FileId(1),
+            3,
+            &online,
+            &new_candidates,
+            PlacementStrategy::StabilityRanked,
+            &mut rng,
+        );
         assert_eq!(added, 2);
         let f = mgr.file(FileId(1)).unwrap();
         assert_eq!(f.holders.len(), 3);
@@ -252,9 +259,13 @@ mod tests {
         let mut mgr = ReplicationManager::new();
         let mut rng = SimRng::seed_from(5);
         mgr.publish(FileId(1), b"data", 2, &hosts(5), PlacementStrategy::Random, &mut rng);
-        let added = mgr.repair(FileId(1), 2, &|_| true, &hosts(5), PlacementStrategy::Random, &mut rng);
+        let added =
+            mgr.repair(FileId(1), 2, &|_| true, &hosts(5), PlacementStrategy::Random, &mut rng);
         assert_eq!(added, 0);
-        assert_eq!(mgr.repair(FileId(9), 2, &|_| true, &hosts(5), PlacementStrategy::Random, &mut rng), 0);
+        assert_eq!(
+            mgr.repair(FileId(9), 2, &|_| true, &hosts(5), PlacementStrategy::Random, &mut rng),
+            0
+        );
     }
 
     #[test]

@@ -123,7 +123,12 @@ pub struct Scheduler {
 impl Scheduler {
     /// Creates a scheduler.
     pub fn new(config: SchedulerConfig) -> Self {
-        Scheduler { config, tasks: BTreeMap::new(), assignments: BTreeMap::new(), stats: SchedulerStats::default() }
+        Scheduler {
+            config,
+            tasks: BTreeMap::new(),
+            assignments: BTreeMap::new(),
+            stats: SchedulerStats::default(),
+        }
     }
 
     /// Submits a task.
@@ -154,8 +159,7 @@ impl Scheduler {
     /// Advances the scheduler by `dt` seconds given this tick's host set.
     /// Hosts absent from `hosts` are treated as departed.
     pub fn tick(&mut self, now: SimTime, dt: f64, hosts: &[HostInfo]) {
-        let host_map: BTreeMap<VehicleId, HostInfo> =
-            hosts.iter().map(|h| (h.id, *h)).collect();
+        let host_map: BTreeMap<VehicleId, HostInfo> = hosts.iter().map(|h| (h.id, *h)).collect();
         self.stats.offered_gflop += hosts.iter().map(|h| h.cpu_gflops).sum::<f64>() * dt;
 
         self.handle_departures(&host_map);
@@ -190,7 +194,9 @@ impl Scheduler {
                 HandoverPolicy::Handover => {
                     // Find a free eligible host to receive the checkpoint.
                     let spec = record.spec.clone();
-                    let target = free.into_iter().find(|h| eligible(h, &spec, spec.work_gflop - done, config.stay_safety));
+                    let target = free
+                        .into_iter()
+                        .find(|h| eligible(h, &spec, spec.work_gflop - done, config.stay_safety));
                     match target {
                         Some(h) => {
                             // Checkpoint = remaining input + progress state
@@ -213,7 +219,12 @@ impl Scheduler {
         }
     }
 
-    fn progress_running(&mut self, now: SimTime, dt: f64, host_map: &BTreeMap<VehicleId, HostInfo>) {
+    fn progress_running(
+        &mut self,
+        now: SimTime,
+        dt: f64,
+        host_map: &BTreeMap<VehicleId, HostInfo>,
+    ) {
         let running: Vec<TaskId> = self.assignments.values().copied().collect();
         for task_id in running {
             let record = self.tasks.get_mut(&task_id).expect("assigned task exists");
@@ -286,18 +297,17 @@ impl Scheduler {
                 continue;
             };
             let host = free.remove(idx);
-            record.status = TaskStatus::Running { host: host.id, done_gflop: record.spec.work_gflop - remaining };
+            record.status = TaskStatus::Running {
+                host: host.id,
+                done_gflop: record.spec.work_gflop - remaining,
+            };
             self.stats.network_mb += record.spec.input_mb;
             self.assignments.insert(host.id, task_id);
         }
     }
 
     fn free_hosts(&self, host_map: &BTreeMap<VehicleId, HostInfo>) -> Vec<HostInfo> {
-        host_map
-            .values()
-            .filter(|h| !self.assignments.contains_key(&h.id))
-            .copied()
-            .collect()
+        host_map.values().filter(|h| !self.assignments.contains_key(&h.id)).copied().collect()
     }
 }
 
@@ -319,7 +329,12 @@ mod tests {
     use super::*;
 
     fn host(id: u32, cpu: f64, stay: f64) -> HostInfo {
-        HostInfo { id: VehicleId(id), cpu_gflops: cpu, automation: SaeLevel::L4, stay_estimate_s: stay }
+        HostInfo {
+            id: VehicleId(id),
+            cpu_gflops: cpu,
+            automation: SaeLevel::L4,
+            stay_estimate_s: stay,
+        }
     }
 
     fn spec(id: u64, work: f64) -> TaskSpec {
@@ -371,7 +386,8 @@ mod tests {
 
     #[test]
     fn most_stable_placement_prefers_long_stay() {
-        let config = SchedulerConfig { placement: PlacementPolicy::MostStable, ..Default::default() };
+        let config =
+            SchedulerConfig { placement: PlacementPolicy::MostStable, ..Default::default() };
         let mut s = Scheduler::new(config);
         s.submit(spec(1, 10.0), SimTime::ZERO);
         let hosts = [host(0, 100.0, 50.0), host(1, 100.0, 500.0)];
@@ -384,7 +400,8 @@ mod tests {
 
     #[test]
     fn fastest_cpu_placement() {
-        let config = SchedulerConfig { placement: PlacementPolicy::FastestCpu, ..Default::default() };
+        let config =
+            SchedulerConfig { placement: PlacementPolicy::FastestCpu, ..Default::default() };
         let mut s = Scheduler::new(config);
         s.submit(spec(1, 10.0), SimTime::ZERO);
         let hosts = [host(0, 50.0, 1000.0), host(1, 200.0, 1000.0)];

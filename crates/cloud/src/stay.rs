@@ -164,10 +164,20 @@ mod tests {
     #[test]
     fn outside_is_zero_and_still_is_horizon() {
         assert_eq!(
-            time_to_exit_disk(Point::new(200.0, 0.0), Point::new(1.0, 0.0), Point::new(0.0, 0.0), 100.0),
+            time_to_exit_disk(
+                Point::new(200.0, 0.0),
+                Point::new(1.0, 0.0),
+                Point::new(0.0, 0.0),
+                100.0
+            ),
             0.0
         );
-        let t = time_to_exit_disk(Point::new(0.0, 0.0), Point::new(0.0, 0.0), Point::new(0.0, 0.0), 100.0);
+        let t = time_to_exit_disk(
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 0.0),
+            100.0,
+        );
         assert_eq!(t, 3600.0);
     }
 

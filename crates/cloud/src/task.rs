@@ -93,7 +93,13 @@ pub struct TaskRecord {
 impl TaskRecord {
     /// Creates a freshly queued record.
     pub fn new(spec: TaskSpec, submitted_at: SimTime) -> TaskRecord {
-        TaskRecord { spec, status: TaskStatus::Queued, submitted_at, handovers: 0, recomputed_gflop: 0.0 }
+        TaskRecord {
+            spec,
+            status: TaskStatus::Queued,
+            submitted_at,
+            handovers: 0,
+            recomputed_gflop: 0.0,
+        }
     }
 
     /// Remaining work, GFLOP.

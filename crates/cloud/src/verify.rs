@@ -157,7 +157,8 @@ mod tests {
             })
             .collect();
         // Host 2 lies.
-        receipts[2] = ResultReceipt::sign(1, VehicleId(2), b"evil", SimTime::from_secs(5), &keys[2]);
+        receipts[2] =
+            ResultReceipt::sign(1, VehicleId(2), b"evil", SimTime::from_secs(5), &keys[2]);
         match adjudicate(&receipts, &dir) {
             Adjudication::Accepted { result, dissenters } => {
                 assert_eq!(result, honest_digest(b"42"));

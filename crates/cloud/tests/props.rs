@@ -1,36 +1,36 @@
 //! Property-based tests for scheduler conservation laws and replication.
 
-use proptest::prelude::*;
 use vc_cloud::prelude::*;
 use vc_sim::node::{SaeLevel, VehicleId};
 use vc_sim::rng::SimRng;
 use vc_sim::time::{SimDuration, SimTime};
+use vc_testkit::prop::strategy::{any_u64, any_u8, from_fn, vec, FromFn};
+use vc_testkit::{prop, prop_assert, prop_assert_eq, prop_assume};
 
-fn hosts_strategy() -> impl Strategy<Value = Vec<HostInfo>> {
-    proptest::collection::vec((10.0f64..200.0, 5.0f64..500.0), 1..12).prop_map(|specs| {
-        specs
-            .into_iter()
-            .enumerate()
-            .map(|(i, (cpu, stay))| HostInfo {
+fn hosts_strategy() -> FromFn<impl Fn(&mut SimRng) -> Vec<HostInfo>> {
+    from_fn(|rng| {
+        let n = rng.range_u64(1, 12) as usize;
+        (0..n)
+            .map(|i| HostInfo {
                 id: VehicleId(i as u32),
-                cpu_gflops: cpu,
+                cpu_gflops: rng.range_f64(10.0, 200.0),
                 automation: SaeLevel::L4,
-                stay_estimate_s: stay,
+                stay_estimate_s: rng.range_f64(5.0, 500.0),
             })
             .collect()
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+prop! {
+    #![cases(64)]
 
     // Conservation: every submitted task is exactly one of queued, running,
     // completed, expired — and executed work never exceeds offered capacity.
     #[test]
     fn scheduler_conserves_tasks(
         hosts in hosts_strategy(),
-        works in proptest::collection::vec(10.0f64..2000.0, 1..20),
-        churn_seed in any::<u64>(),
+        works in vec(10.0f64..2000.0, 1..20),
+        churn_seed in any_u64(),
         ticks in 10usize..80,
     ) {
         let mut sched = Scheduler::new(SchedulerConfig::default());
@@ -103,8 +103,8 @@ proptest! {
     fn replication_bounds(
         pool in 1usize..40,
         replicas in 1usize..10,
-        content in proptest::collection::vec(any::<u8>(), 1..2048),
-        seed in any::<u64>(),
+        content in vec(any_u8(), 1..2048),
+        seed in any_u64(),
     ) {
         let mut rng = SimRng::seed_from(seed);
         let hosts: Vec<ReplicaHost> = (0..pool)

@@ -60,7 +60,8 @@ impl SigningKey {
     /// Signs `message`.
     pub fn sign(&self, message: &[u8]) -> Signature {
         // Deterministic nonce bound to the secret and the message.
-        let mut k = Scalar::hash_to_scalar(&[b"vc-schnorr-nonce", &self.secret.to_bytes(), message]);
+        let mut k =
+            Scalar::hash_to_scalar(&[b"vc-schnorr-nonce", &self.secret.to_bytes(), message]);
         if k.is_zero() {
             k = Scalar::one();
         }
@@ -187,7 +188,8 @@ impl Sha256Transcript {
     }
 
     fn weight(&self, index: u64) -> Scalar {
-        let mut w = Scalar::hash_to_scalar(&[b"vc-batch-weight", &self.state, &index.to_be_bytes()]);
+        let mut w =
+            Scalar::hash_to_scalar(&[b"vc-batch-weight", &self.state, &index.to_be_bytes()]);
         if w.is_zero() {
             w = Scalar::one();
         }
@@ -196,12 +198,8 @@ impl Sha256Transcript {
 }
 
 fn challenge_scalar(commitment: &Element, key: &VerifyingKey, message: &[u8]) -> Scalar {
-    let digest = sha256_parts(&[
-        b"vc-schnorr-challenge",
-        &commitment.to_bytes(),
-        &key.to_bytes(),
-        message,
-    ]);
+    let digest =
+        sha256_parts(&[b"vc-schnorr-challenge", &commitment.to_bytes(), &key.to_bytes(), message]);
     Scalar::hash_to_scalar(&[&digest])
 }
 
@@ -236,10 +234,8 @@ mod tests {
     fn tampered_signature_rejected() {
         let sk = SigningKey::from_seed(b"seed");
         let sig = sk.sign(b"m");
-        let bumped = Signature {
-            commitment: sig.commitment,
-            response: sig.response.add(Scalar::one()),
-        };
+        let bumped =
+            Signature { commitment: sig.commitment, response: sig.response.add(Scalar::one()) };
         assert!(!sk.verifying_key().verify(b"m", &bumped));
         let wrong_commit = Signature {
             commitment: sig.commitment.mul(Element::generator()),
@@ -328,10 +324,8 @@ mod tests {
         let sk2 = SigningKey::from_seed(b"two");
         let s1 = sk1.sign(b"msg-1");
         let s2 = sk2.sign(b"msg-2");
-        let swapped: Vec<(&[u8], VerifyingKey, Signature)> = vec![
-            (b"msg-1", sk1.verifying_key(), s2),
-            (b"msg-2", sk2.verifying_key(), s1),
-        ];
+        let swapped: Vec<(&[u8], VerifyingKey, Signature)> =
+            vec![(b"msg-1", sk1.verifying_key(), s2), (b"msg-2", sk2.verifying_key(), s1)];
         assert!(!batch_verify(&swapped, b"seed"));
     }
 
@@ -340,7 +334,8 @@ mod tests {
         let sk = SigningKey::from_seed(b"solo");
         let sig = sk.sign(b"m");
         assert!(batch_verify(&[(b"m", sk.verifying_key(), sig)], b"x"));
-        let bad = Signature { commitment: sig.commitment, response: sig.response.add(Scalar::one()) };
+        let bad =
+            Signature { commitment: sig.commitment, response: sig.response.add(Scalar::one()) };
         assert!(!batch_verify(&[(b"m", sk.verifying_key(), bad)], b"x"));
     }
 

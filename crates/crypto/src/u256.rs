@@ -172,9 +172,8 @@ impl U256 {
         for i in 0..4 {
             let mut carry = 0u128;
             for j in 0..4 {
-                let cur = out[i + j] as u128
-                    + (self.limbs[i] as u128) * (rhs.limbs[j] as u128)
-                    + carry;
+                let cur =
+                    out[i + j] as u128 + (self.limbs[i] as u128) * (rhs.limbs[j] as u128) + carry;
                 out[i + j] = cur as u64;
                 carry = cur >> 64;
             }
@@ -436,12 +435,10 @@ mod tests {
 
     #[test]
     fn hex_roundtrip() {
-        let v = U256::from_hex("0xdeadbeefcafebabe1234567890abcdef00112233445566778899aabbccddeeff")
-            .unwrap();
-        assert_eq!(
-            v.to_hex(),
-            "deadbeefcafebabe1234567890abcdef00112233445566778899aabbccddeeff"
-        );
+        let v =
+            U256::from_hex("0xdeadbeefcafebabe1234567890abcdef00112233445566778899aabbccddeeff")
+                .unwrap();
+        assert_eq!(v.to_hex(), "deadbeefcafebabe1234567890abcdef00112233445566778899aabbccddeeff");
         assert_eq!(U256::from_hex("ff").unwrap(), u(255));
         assert_eq!(U256::from_hex(""), None);
         assert_eq!(U256::from_hex("xyz"), None);

@@ -1,6 +1,5 @@
 //! Property-based tests for the cryptographic substrate.
 
-use proptest::prelude::*;
 use vc_crypto::chacha20::{decrypt, encrypt, open, seal};
 use vc_crypto::group::{Element, Scalar};
 use vc_crypto::hex;
@@ -9,20 +8,22 @@ use vc_crypto::merkle::MerkleTree;
 use vc_crypto::schnorr::{Signature, SigningKey};
 use vc_crypto::sha256::sha256;
 use vc_crypto::u256::U256;
+use vc_testkit::prop::strategy::{any_bytes, any_u16, any_u64, any_u8, any_words, vec};
+use vc_testkit::{prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+prop! {
+    #![cases(64)]
 
     // ---- U256 ring axioms against the u128 oracle ----
 
     #[test]
-    fn u256_add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+    fn u256_add_matches_u128(a in any_u64(), b in any_u64()) {
         let sum = U256::from(a as u128).wrapping_add(U256::from(b as u128));
         prop_assert_eq!(sum, U256::from(a as u128 + b as u128));
     }
 
     #[test]
-    fn u256_mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+    fn u256_mul_matches_u128(a in any_u64(), b in any_u64()) {
         let wide = U256::from(a as u128).mul_wide(U256::from(b as u128));
         let expect = a as u128 * b as u128;
         let lo = wide.limbs()[0] as u128 | ((wide.limbs()[1] as u128) << 64);
@@ -31,21 +32,21 @@ proptest! {
     }
 
     #[test]
-    fn u256_add_commutes(a in any::<[u64; 4]>(), b in any::<[u64; 4]>()) {
+    fn u256_add_commutes(a in any_words::<4>(), b in any_words::<4>()) {
         let x = U256::from_limbs(a);
         let y = U256::from_limbs(b);
         prop_assert_eq!(x.wrapping_add(y), y.wrapping_add(x));
     }
 
     #[test]
-    fn u256_sub_inverts_add(a in any::<[u64; 4]>(), b in any::<[u64; 4]>()) {
+    fn u256_sub_inverts_add(a in any_words::<4>(), b in any_words::<4>()) {
         let x = U256::from_limbs(a);
         let y = U256::from_limbs(b);
         prop_assert_eq!(x.wrapping_add(y).wrapping_sub(y), x);
     }
 
     #[test]
-    fn u256_div_rem_reconstructs(a in any::<[u64; 4]>(), b in any::<[u64; 2]>()) {
+    fn u256_div_rem_reconstructs(a in any_words::<4>(), b in any_words::<2>()) {
         let x = U256::from_limbs(a);
         let d = U256::from_limbs([b[0], b[1], 0, 0]);
         prop_assume!(!d.is_zero());
@@ -59,14 +60,14 @@ proptest! {
     }
 
     #[test]
-    fn u256_bytes_roundtrip(a in any::<[u64; 4]>()) {
+    fn u256_bytes_roundtrip(a in any_words::<4>()) {
         let x = U256::from_limbs(a);
         prop_assert_eq!(U256::from_be_bytes(&x.to_be_bytes()), x);
         prop_assert_eq!(U256::from_hex(&x.to_hex()).unwrap(), x);
     }
 
     #[test]
-    fn u256_shifts_invert(a in any::<[u64; 4]>(), n in 0usize..255) {
+    fn u256_shifts_invert(a in any_words::<4>(), n in 0usize..255) {
         let x = U256::from_limbs(a);
         prop_assert_eq!(x.shl_bits(n).shr_bits(n).shl_bits(n), x.shl_bits(n));
     }
@@ -74,7 +75,7 @@ proptest! {
     // ---- group / scalar laws ----
 
     #[test]
-    fn scalar_add_sub_roundtrip(a in any::<u64>(), b in any::<u64>()) {
+    fn scalar_add_sub_roundtrip(a in any_u64(), b in any_u64()) {
         let x = Scalar::from_u64(a);
         let y = Scalar::from_u64(b);
         prop_assert_eq!(x.add(y).sub(y), x);
@@ -90,7 +91,7 @@ proptest! {
     // ---- hashes and MACs ----
 
     #[test]
-    fn sha256_deterministic_and_sensitive(data in proptest::collection::vec(any::<u8>(), 0..512), flip in any::<u8>()) {
+    fn sha256_deterministic_and_sensitive(data in vec(any_u8(), 0..512), flip in any_u8()) {
         let d1 = sha256(&data);
         prop_assert_eq!(d1, sha256(&data));
         if !data.is_empty() {
@@ -102,15 +103,15 @@ proptest! {
     }
 
     #[test]
-    fn hmac_distinguishes_keys(key1 in proptest::collection::vec(any::<u8>(), 1..64),
-                               key2 in proptest::collection::vec(any::<u8>(), 1..64),
-                               msg in proptest::collection::vec(any::<u8>(), 0..128)) {
+    fn hmac_distinguishes_keys(key1 in vec(any_u8(), 1..64),
+                               key2 in vec(any_u8(), 1..64),
+                               msg in vec(any_u8(), 0..128)) {
         prop_assume!(key1 != key2);
         prop_assert_ne!(hmac_sha256(&key1, &msg), hmac_sha256(&key2, &msg));
     }
 
     #[test]
-    fn hkdf_prefix_stability(ikm in proptest::collection::vec(any::<u8>(), 1..64), short in 1usize..32, long in 33usize..96) {
+    fn hkdf_prefix_stability(ikm in vec(any_u8(), 1..64), short in 1usize..32, long in 33usize..96) {
         let prk = hkdf_extract(b"salt", &ikm);
         let a = hkdf_expand(&prk, b"ctx", short);
         let b = hkdf_expand(&prk, b"ctx", long);
@@ -118,22 +119,22 @@ proptest! {
     }
 
     #[test]
-    fn hex_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+    fn hex_roundtrip(data in vec(any_u8(), 0..256)) {
         prop_assert_eq!(hex::decode(&hex::encode(&data)).unwrap(), data);
     }
 
     // ---- cipher ----
 
     #[test]
-    fn chacha_roundtrip(key in any::<[u8; 32]>(), nonce in any::<[u8; 12]>(),
-                        msg in proptest::collection::vec(any::<u8>(), 0..300)) {
+    fn chacha_roundtrip(key in any_bytes::<32>(), nonce in any_bytes::<12>(),
+                        msg in vec(any_u8(), 0..300)) {
         prop_assert_eq!(decrypt(&key, &nonce, &encrypt(&key, &nonce, &msg)), msg);
     }
 
     #[test]
-    fn sealed_tamper_always_detected(key in any::<[u8; 32]>(), nonce in any::<[u8; 12]>(),
-                                     msg in proptest::collection::vec(any::<u8>(), 0..128),
-                                     pos in any::<u16>(), bit in 0u8..8) {
+    fn sealed_tamper_always_detected(key in any_bytes::<32>(), nonce in any_bytes::<12>(),
+                                     msg in vec(any_u8(), 0..128),
+                                     pos in any_u16(), bit in 0u8..8) {
         let sealed = seal(&key, &nonce, &msg);
         let mut tampered = sealed.clone();
         let idx = pos as usize % tampered.len();
@@ -145,9 +146,9 @@ proptest! {
     // ---- signatures ----
 
     #[test]
-    fn schnorr_roundtrip_and_tamper(seed in proptest::collection::vec(any::<u8>(), 1..32),
-                                    msg in proptest::collection::vec(any::<u8>(), 0..128),
-                                    flip in any::<u8>()) {
+    fn schnorr_roundtrip_and_tamper(seed in vec(any_u8(), 1..32),
+                                    msg in vec(any_u8(), 0..128),
+                                    flip in any_u8()) {
         let sk = SigningKey::from_seed(&seed);
         let sig = sk.sign(&msg);
         prop_assert!(sk.verifying_key().verify(&msg, &sig));
@@ -162,8 +163,8 @@ proptest! {
     // ---- merkle ----
 
     #[test]
-    fn merkle_proofs_sound(leaves in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..32), 1..24),
-                           probe in any::<u8>()) {
+    fn merkle_proofs_sound(leaves in vec(vec(any_u8(), 0..32), 1..24),
+                           probe in any_u8()) {
         let tree = MerkleTree::from_leaves(&leaves);
         let idx = probe as usize % leaves.len();
         let proof = tree.prove(idx).unwrap();

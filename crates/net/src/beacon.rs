@@ -191,15 +191,9 @@ mod tests {
         let fresh = sign_beacon(beacon(1, 10), &k);
         assert_eq!(store.ingest(&fresh, &k.verifying_key(), now), Ok(()));
         let stale = sign_beacon(beacon(1, 5), &k);
-        assert_eq!(
-            store.ingest(&stale, &k.verifying_key(), now),
-            Err(BeaconReject::Stale)
-        );
+        assert_eq!(store.ingest(&stale, &k.verifying_key(), now), Err(BeaconReject::Stale));
         let future = sign_beacon(beacon(1, 20), &k);
-        assert_eq!(
-            store.ingest(&future, &k.verifying_key(), now),
-            Err(BeaconReject::Stale)
-        );
+        assert_eq!(store.ingest(&future, &k.verifying_key(), now), Err(BeaconReject::Stale));
     }
 
     #[test]

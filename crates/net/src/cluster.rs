@@ -115,10 +115,7 @@ fn head_score(world: &WorldView<'_>, id: VehicleId, cfg: &ClusterConfig) -> f64 
     let rel_speed = if neighbors.is_empty() {
         0.0
     } else {
-        neighbors
-            .iter()
-            .map(|&n| (world.vel(id) - world.vel(n)).norm())
-            .sum::<f64>()
+        neighbors.iter().map(|&n| (world.vel(id) - world.vel(n)).norm()).sum::<f64>()
             / neighbors.len() as f64
     };
     cfg.weight_degree * degree - cfg.weight_stability * rel_speed
@@ -146,13 +143,9 @@ pub fn form_clusters(world: &WorldView<'_>, cfg: &ClusterConfig) -> Clustering {
     let n = world.len();
     let mut head_of: Vec<Option<VehicleId>> = vec![None; n];
     // Rank candidates by score (desc), id (asc).
-    let mut candidates: Vec<(f64, VehicleId)> = world
-        .online_ids()
-        .map(|id| (head_score(world, id, cfg), id))
-        .collect();
-    candidates.sort_by(|a, b| {
-        b.0.partial_cmp(&a.0).expect("finite scores").then(a.1.cmp(&b.1))
-    });
+    let mut candidates: Vec<(f64, VehicleId)> =
+        world.online_ids().map(|id| (head_score(world, id, cfg), id)).collect();
+    candidates.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores").then(a.1.cmp(&b.1)));
 
     let mut members: BTreeMap<VehicleId, Vec<VehicleId>> = BTreeMap::new();
     for &(_, candidate) in &candidates {
@@ -263,9 +256,8 @@ pub fn maintain_clusters(
     if !uncovered.is_empty() {
         let mut candidates: Vec<(f64, VehicleId)> =
             uncovered.iter().map(|&id| (head_score(world, id, cfg), id)).collect();
-        candidates.sort_by(|a, b| {
-            b.0.partial_cmp(&a.0).expect("finite scores").then(a.1.cmp(&b.1))
-        });
+        candidates
+            .sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores").then(a.1.cmp(&b.1)));
         for &(_, candidate) in &candidates {
             if head_of[candidate.0 as usize].is_some() {
                 continue;
@@ -414,8 +406,7 @@ mod tests {
     fn stable_node_wins_election() {
         // Three vehicles in mutual range; v1 moves fast relative to others.
         let positions = vec![Point::new(0.0, 0.0), Point::new(50.0, 0.0), Point::new(100.0, 0.0)];
-        let velocities =
-            vec![Point::new(10.0, 0.0), Point::new(-30.0, 0.0), Point::new(10.0, 0.0)];
+        let velocities = vec![Point::new(10.0, 0.0), Point::new(-30.0, 0.0), Point::new(10.0, 0.0)];
         let f = Fixture::new(positions, velocities, 300.0);
         let c = form_clusters(&f.world(), &ClusterConfig::multi_hop());
         let head = c.heads().next().unwrap();
@@ -457,7 +448,8 @@ mod tests {
 
     #[test]
     fn clustering_is_deterministic() {
-        let positions: Vec<Point> = (0..10).map(|i| Point::new((i * 37 % 200) as f64, (i * 61 % 200) as f64)).collect();
+        let positions: Vec<Point> =
+            (0..10).map(|i| Point::new((i * 37 % 200) as f64, (i * 61 % 200) as f64)).collect();
         let f = Fixture::new(positions, still(10), 120.0);
         let a = form_clusters(&f.world(), &ClusterConfig::multi_hop());
         let b = form_clusters(&f.world(), &ClusterConfig::multi_hop());

@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 
 pub mod beacon;
+pub mod bytebuf;
 pub mod cluster;
 pub mod message;
 pub mod netsim;
@@ -37,13 +38,20 @@ pub mod world;
 
 /// Convenient glob import of the commonly used types.
 pub mod prelude {
-    pub use crate::beacon::{sign_beacon, verify_beacon, Beacon, BeaconReject, BeaconStore, SignedBeacon};
-    pub use crate::cluster::{form_clusters, head_churn, maintain_clusters, ClusterConfig, Clustering};
+    pub use crate::beacon::{
+        sign_beacon, verify_beacon, Beacon, BeaconReject, BeaconStore, SignedBeacon,
+    };
+    pub use crate::bytebuf::{ByteReader, ByteWriter};
+    pub use crate::cluster::{
+        form_clusters, head_churn, maintain_clusters, ClusterConfig, Clustering,
+    };
     pub use crate::message::{Outcome, Packet, PacketId, RoutingStats};
     pub use crate::netsim::NetSim;
     pub use crate::routing::{
         ClusterRouting, Epidemic, GreedyGeo, MozoRouting, RoutingProtocol, StreetAware,
     };
-    pub use crate::wire::{decode_beacon, decode_packet, encode_beacon, encode_packet, WIRE_VERSION};
+    pub use crate::wire::{
+        decode_beacon, decode_packet, encode_beacon, encode_packet, WIRE_VERSION,
+    };
     pub use crate::world::WorldView;
 }

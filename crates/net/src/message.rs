@@ -26,7 +26,13 @@ pub struct Packet {
 
 impl Packet {
     /// Creates a packet with the standard 64-hop budget.
-    pub fn new(id: PacketId, src: VehicleId, dst: VehicleId, size_bytes: usize, created: SimTime) -> Self {
+    pub fn new(
+        id: PacketId,
+        src: VehicleId,
+        dst: VehicleId,
+        size_bytes: usize,
+        created: SimTime,
+    ) -> Self {
         Packet { id, src, dst, size_bytes, created, ttl_hops: 64 }
     }
 }

@@ -156,9 +156,9 @@ impl<'a, P: RoutingProtocol> NetSim<'a, P> {
             }
             let packet = state.packet.clone();
             let carried_set = state.carried.clone();
-            let hops = self.protocol.next_hops(copy.holder, &packet, &world, &|v| {
-                carried_set.contains(&v)
-            });
+            let hops = self
+                .protocol
+                .next_hops(copy.holder, &packet, &world, &|v| carried_set.contains(&v));
             let mut forwarded = false;
             for target in hops {
                 debug_assert!(target != copy.holder);

@@ -53,13 +53,7 @@ impl RoutingProtocol for Epidemic {
         world: &WorldView<'_>,
         carried: &dyn Fn(VehicleId) -> bool,
     ) -> Vec<VehicleId> {
-        world
-            .neighbors
-            .of(holder)
-            .iter()
-            .copied()
-            .filter(|&n| !carried(n))
-            .collect()
+        world.neighbors.of(holder).iter().copied().filter(|&n| !carried(n)).collect()
     }
 }
 
@@ -188,8 +182,7 @@ impl RoutingProtocol for ClusterRouting {
             best = match best {
                 None => Some(key),
                 Some(cur) => {
-                    let better = (key.0 && !cur.0)
-                        || (key.0 == cur.0 && key.1 < cur.1);
+                    let better = (key.0 && !cur.0) || (key.0 == cur.0 && key.1 < cur.1);
                     if better {
                         Some(key)
                     } else {
@@ -217,7 +210,11 @@ pub struct MozoRouting {
 impl MozoRouting {
     /// Creates with the standard moving-zone configuration and a 2 s horizon.
     pub fn new() -> Self {
-        MozoRouting { config: ClusterConfig::moving_zone(), zones: Clustering::default(), horizon_s: 2.0 }
+        MozoRouting {
+            config: ClusterConfig::moving_zone(),
+            zones: Clustering::default(),
+            horizon_s: 2.0,
+        }
     }
 
     /// The zones computed this round.
@@ -263,7 +260,9 @@ impl RoutingProtocol for MozoRouting {
             let captain = self.zones.is_head(n);
             let better = match best {
                 None => true,
-                Some((bd, bcap, _)) => d < bd - 1e-9 || ((d - bd).abs() <= 1e-9 && captain && !bcap),
+                Some((bd, bcap, _)) => {
+                    d < bd - 1e-9 || ((d - bd).abs() <= 1e-9 && captain && !bcap)
+                }
             };
             if better {
                 best = Some((d, captain, n));
@@ -338,14 +337,16 @@ impl RoutingProtocol for StreetAware {
             }
             let p = world.pos(n);
             let toward_target = p.distance(target);
-            let improves = toward_target < my_target_dist - 1e-9
-                || p.distance(dest_pos) < my_dest_dist - 1e-9;
+            let improves =
+                toward_target < my_target_dist - 1e-9 || p.distance(dest_pos) < my_dest_dist - 1e-9;
             if !improves {
                 continue;
             }
             let better = match best {
                 None => true,
-                Some((bd, bn)) => toward_target < bd - 1e-9 || ((toward_target - bd).abs() <= 1e-9 && n < bn),
+                Some((bd, bn)) => {
+                    toward_target < bd - 1e-9 || ((toward_target - bd).abs() <= 1e-9 && n < bn)
+                }
             };
             if better {
                 best = Some((toward_target, n));
@@ -420,7 +421,7 @@ mod tests {
     fn greedy_stalls_in_local_minimum() {
         // Holder is closest to dest among its neighborhood; greedy returns none.
         let positions = vec![
-            Point::new(0.0, 0.0),   // 0 holder
+            Point::new(0.0, 0.0),    // 0 holder
             Point::new(-100.0, 0.0), // 1 behind
             Point::new(5000.0, 0.0), // 2 dest far away, unreachable
         ];
@@ -458,11 +459,14 @@ mod tests {
         proto.begin_round(&w);
         let p = pkt(0, 2);
         let head = proto.clustering().head_of(VehicleId(0)).unwrap();
-        let hops = proto.next_hops(head, &p, &w, &|v| v != head && !w.neighbors.of(head).contains(&v));
+        let hops =
+            proto.next_hops(head, &p, &w, &|v| v != head && !w.neighbors.of(head).contains(&v));
         // All candidates are behind; nothing closer exists.
         assert!(hops.len() <= 1);
         if let Some(&h) = hops.first() {
-            assert!(w.pos(h).distance(w.pos(VehicleId(2))) < w.pos(head).distance(w.pos(VehicleId(2))));
+            assert!(
+                w.pos(h).distance(w.pos(VehicleId(2))) < w.pos(head).distance(w.pos(VehicleId(2)))
+            );
         }
     }
 
@@ -557,8 +561,7 @@ mod tests {
     fn street_aware_handles_degenerate_maps() {
         // Empty road network: falls back to pure greedy toward the dest.
         let net = vc_sim::roadnet::RoadNetwork::new();
-        let positions =
-            vec![Point::new(0.0, 0.0), Point::new(100.0, 0.0), Point::new(300.0, 0.0)];
+        let positions = vec![Point::new(0.0, 0.0), Point::new(100.0, 0.0), Point::new(300.0, 0.0)];
         let velocities = vec![Point::new(0.0, 0.0); 3];
         let online = vec![true; 3];
         let table = NeighborTable::build(&positions, &online, 150.0);

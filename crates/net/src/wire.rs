@@ -4,11 +4,13 @@
 //! honest: every encoded frame carries a magic byte, a version, and a type
 //! tag, and decodes defensively (truncation, bad tags, and corrupt lengths
 //! return `None`, never panic). Frame sizes feed the channel's
-//! serialization-delay model.
+//! serialization-delay model. Encoding uses the in-tree length-checked
+//! [`crate::bytebuf`] primitives; decoded payloads borrow from the input
+//! frame (zero-copy).
 
 use crate::beacon::{Beacon, SignedBeacon};
+use crate::bytebuf::{ByteReader, ByteWriter};
 use crate::message::{Packet, PacketId};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use vc_crypto::schnorr::Signature;
 use vc_sim::geom::Point;
 use vc_sim::node::VehicleId;
@@ -27,25 +29,22 @@ enum FrameType {
 /// Protocol version carried in every frame.
 pub const WIRE_VERSION: u8 = 1;
 
-fn header(out: &mut BytesMut, frame: FrameType) {
+fn header(out: &mut ByteWriter, frame: FrameType) {
     out.put_u8(MAGIC);
     out.put_u8(WIRE_VERSION);
     out.put_u8(frame as u8);
 }
 
-fn check_header(buf: &mut Bytes, expect: u8) -> Option<()> {
-    if buf.remaining() < 3 {
-        return None;
-    }
-    if buf.get_u8() != MAGIC || buf.get_u8() != WIRE_VERSION || buf.get_u8() != expect {
+fn check_header(buf: &mut ByteReader<'_>, expect: u8) -> Option<()> {
+    if buf.get_u8()? != MAGIC || buf.get_u8()? != WIRE_VERSION || buf.get_u8()? != expect {
         return None;
     }
     Some(())
 }
 
 /// Encodes a signed beacon to its on-air frame.
-pub fn encode_beacon(sb: &SignedBeacon) -> Bytes {
-    let mut out = BytesMut::with_capacity(3 + 4 + 32 + 8 + 64);
+pub fn encode_beacon(sb: &SignedBeacon) -> Vec<u8> {
+    let mut out = ByteWriter::with_capacity(3 + 4 + 40 + 64);
     header(&mut out, FrameType::Beacon);
     out.put_u32(sb.beacon.sender.0);
     out.put_f64(sb.beacon.pos.x);
@@ -54,42 +53,37 @@ pub fn encode_beacon(sb: &SignedBeacon) -> Bytes {
     out.put_f64(sb.beacon.vel.y);
     out.put_u64(sb.beacon.sent_at.as_micros());
     out.put_slice(&sb.signature.to_bytes());
-    out.freeze()
+    out.into_vec()
 }
 
 /// Decodes a beacon frame; `None` on any malformation.
-pub fn decode_beacon(mut buf: Bytes) -> Option<SignedBeacon> {
+pub fn decode_beacon(frame: &[u8]) -> Option<SignedBeacon> {
+    let mut buf = ByteReader::new(frame);
     check_header(&mut buf, FrameType::Beacon as u8)?;
     if buf.remaining() != 4 + 8 * 5 + 64 {
         return None;
     }
-    let sender = VehicleId(buf.get_u32());
-    let px = buf.get_f64();
-    let py = buf.get_f64();
-    let vx = buf.get_f64();
-    let vy = buf.get_f64();
+    let sender = VehicleId(buf.get_u32()?);
+    let px = buf.get_f64()?;
+    let py = buf.get_f64()?;
+    let vx = buf.get_f64()?;
+    let vy = buf.get_f64()?;
     if ![px, py, vx, vy].iter().all(|x| x.is_finite()) {
         return None;
     }
-    let sent_at = SimTime::from_micros(buf.get_u64());
-    let mut sig = [0u8; 64];
-    buf.copy_to_slice(&mut sig);
+    let sent_at = SimTime::from_micros(buf.get_u64()?);
+    let sig = buf.get_array::<64>()?;
     let signature = Signature::from_bytes(&sig)?;
     Some(SignedBeacon {
-        beacon: Beacon {
-            sender,
-            pos: Point::new(px, py),
-            vel: Point::new(vx, vy),
-            sent_at,
-        },
+        beacon: Beacon { sender, pos: Point::new(px, py), vel: Point::new(vx, vy), sent_at },
         signature,
     })
 }
 
 /// Encodes a data packet (header + payload length; payload itself is
 /// opaque application bytes supplied by the caller).
-pub fn encode_packet(p: &Packet, payload: &[u8]) -> Bytes {
-    let mut out = BytesMut::with_capacity(3 + 8 + 4 + 4 + 8 + 4 + 4 + payload.len());
+pub fn encode_packet(p: &Packet, payload: &[u8]) -> Vec<u8> {
+    let mut out = ByteWriter::with_capacity(3 + 8 + 4 + 4 + 8 + 4 + 4 + payload.len());
     header(&mut out, FrameType::Data);
     out.put_u64(p.id.0);
     out.put_u32(p.src.0);
@@ -98,25 +92,24 @@ pub fn encode_packet(p: &Packet, payload: &[u8]) -> Bytes {
     out.put_u32(p.ttl_hops);
     out.put_u32(payload.len() as u32);
     out.put_slice(payload);
-    out.freeze()
+    out.into_vec()
 }
 
-/// Decodes a data packet frame into (packet, payload).
-pub fn decode_packet(mut buf: Bytes) -> Option<(Packet, Bytes)> {
+/// Decodes a data packet frame into (packet, payload). The payload borrows
+/// from the input frame.
+pub fn decode_packet(frame: &[u8]) -> Option<(Packet, &[u8])> {
+    let mut buf = ByteReader::new(frame);
     check_header(&mut buf, FrameType::Data as u8)?;
-    if buf.remaining() < 8 + 4 + 4 + 8 + 4 + 4 {
-        return None;
-    }
-    let id = PacketId(buf.get_u64());
-    let src = VehicleId(buf.get_u32());
-    let dst = VehicleId(buf.get_u32());
-    let created = SimTime::from_micros(buf.get_u64());
-    let ttl_hops = buf.get_u32();
-    let len = buf.get_u32() as usize;
+    let id = PacketId(buf.get_u64()?);
+    let src = VehicleId(buf.get_u32()?);
+    let dst = VehicleId(buf.get_u32()?);
+    let created = SimTime::from_micros(buf.get_u64()?);
+    let ttl_hops = buf.get_u32()?;
+    let len = buf.get_u32()? as usize;
     if buf.remaining() != len {
         return None;
     }
-    let payload = buf.copy_to_bytes(len);
+    let payload = buf.take(len)?;
     let mut packet = Packet::new(id, src, dst, len, created);
     packet.ttl_hops = ttl_hops;
     Some((packet, payload))
@@ -144,7 +137,7 @@ mod tests {
     fn beacon_roundtrip_and_signature_survives() {
         let sb = beacon();
         let frame = encode_beacon(&sb);
-        let decoded = decode_beacon(frame).unwrap();
+        let decoded = decode_beacon(&frame).unwrap();
         assert_eq!(decoded, sb);
         let key = SigningKey::from_seed(b"wire");
         assert!(crate::beacon::verify_beacon(&decoded, &key.verifying_key()));
@@ -160,65 +153,70 @@ mod tests {
     fn packet_roundtrip() {
         let p = Packet::new(PacketId(9), VehicleId(1), VehicleId(2), 5, SimTime::from_secs(3));
         let frame = encode_packet(&p, b"hello");
-        let (decoded, payload) = decode_packet(frame).unwrap();
+        let (decoded, payload) = decode_packet(&frame).unwrap();
         assert_eq!(decoded.id, p.id);
         assert_eq!(decoded.src, p.src);
         assert_eq!(decoded.dst, p.dst);
         assert_eq!(decoded.created, p.created);
         assert_eq!(decoded.ttl_hops, p.ttl_hops);
-        assert_eq!(&payload[..], b"hello");
+        assert_eq!(payload, b"hello");
+    }
+
+    #[test]
+    fn packet_payload_is_zero_copy() {
+        let p = Packet::new(PacketId(9), VehicleId(1), VehicleId(2), 5, SimTime::from_secs(3));
+        let frame = encode_packet(&p, b"hello");
+        let (_, payload) = decode_packet(&frame).unwrap();
+        assert_eq!(payload.as_ptr(), frame[frame.len() - 5..].as_ptr());
     }
 
     #[test]
     fn truncated_frames_rejected() {
         let frame = encode_beacon(&beacon());
         for cut in [0, 1, 2, 10, frame.len() - 1] {
-            assert!(decode_beacon(frame.slice(..cut)).is_none(), "cut at {cut}");
+            assert!(decode_beacon(&frame[..cut]).is_none(), "cut at {cut}");
         }
         let p = Packet::new(PacketId(1), VehicleId(1), VehicleId(2), 3, SimTime::ZERO);
         let pf = encode_packet(&p, b"abc");
         for cut in [0, 2, 8, pf.len() - 1] {
-            assert!(decode_packet(pf.slice(..cut)).is_none(), "cut at {cut}");
+            assert!(decode_packet(&pf[..cut]).is_none(), "cut at {cut}");
         }
     }
 
     #[test]
     fn wrong_type_tag_rejected() {
         let frame = encode_beacon(&beacon());
-        assert!(decode_packet(frame.clone()).is_none(), "beacon is not a packet");
+        assert!(decode_packet(&frame).is_none(), "beacon is not a packet");
         let p = Packet::new(PacketId(1), VehicleId(1), VehicleId(2), 0, SimTime::ZERO);
         let pf = encode_packet(&p, b"");
-        assert!(decode_beacon(pf).is_none(), "packet is not a beacon");
-        let _ = frame;
+        assert!(decode_beacon(&pf).is_none(), "packet is not a beacon");
     }
 
     #[test]
     fn corrupt_magic_version_rejected() {
-        let frame = encode_beacon(&beacon());
-        let mut bad = frame.to_vec();
+        let mut bad = encode_beacon(&beacon());
         bad[0] ^= 0xFF;
-        assert!(decode_beacon(Bytes::from(bad.clone())).is_none());
+        assert!(decode_beacon(&bad).is_none());
         bad[0] ^= 0xFF;
         bad[1] = WIRE_VERSION + 1;
-        assert!(decode_beacon(Bytes::from(bad)).is_none());
+        assert!(decode_beacon(&bad).is_none());
     }
 
     #[test]
     fn length_lies_rejected() {
         let p = Packet::new(PacketId(1), VehicleId(1), VehicleId(2), 3, SimTime::ZERO);
-        let mut frame = encode_packet(&p, b"abc").to_vec();
+        let mut frame = encode_packet(&p, b"abc");
         // Inflate the declared payload length beyond the actual bytes.
         let len_offset = 3 + 8 + 4 + 4 + 8 + 4;
         frame[len_offset + 3] = 200;
-        assert!(decode_packet(Bytes::from(frame)).is_none());
+        assert!(decode_packet(&frame).is_none());
     }
 
     #[test]
     fn non_finite_beacon_fields_rejected() {
-        let sb = beacon();
-        let mut frame = encode_beacon(&sb).to_vec();
+        let mut frame = encode_beacon(&beacon());
         // Overwrite pos.x with NaN bits.
         frame[7..15].copy_from_slice(&f64::NAN.to_be_bytes());
-        assert!(decode_beacon(Bytes::from(frame)).is_none());
+        assert!(decode_beacon(&frame).is_none());
     }
 }

@@ -66,7 +66,12 @@ mod tests {
         let velocities = vec![Point::new(1.0, 0.0), Point::new(0.0, 0.0)];
         let online = vec![true, false];
         let neighbors = NeighborTable::build(&positions, &online, 100.0);
-        let w = WorldView { positions: &positions, velocities: &velocities, online: &online, neighbors: &neighbors };
+        let w = WorldView {
+            positions: &positions,
+            velocities: &velocities,
+            online: &online,
+            neighbors: &neighbors,
+        };
         assert_eq!(w.len(), 2);
         assert_eq!(w.pos(VehicleId(1)), Point::new(10.0, 0.0));
         assert!(w.is_online(VehicleId(0)));

@@ -1,6 +1,5 @@
 //! Property-based tests for clustering and routing invariants.
 
-use proptest::prelude::*;
 use vc_net::cluster::{form_clusters, ClusterConfig};
 use vc_net::message::{Packet, PacketId};
 use vc_net::routing::{ClusterRouting, Epidemic, GreedyGeo, MozoRouting, RoutingProtocol};
@@ -8,7 +7,10 @@ use vc_net::world::WorldView;
 use vc_sim::geom::Point;
 use vc_sim::node::VehicleId;
 use vc_sim::radio::NeighborTable;
+use vc_sim::rng::SimRng;
 use vc_sim::time::SimTime;
+use vc_testkit::prop::strategy::{any_u16, any_u32, from_fn, FromFn};
+use vc_testkit::{prop, prop_assert, prop_assert_eq, prop_assert_ne};
 
 #[derive(Debug, Clone)]
 struct World {
@@ -17,37 +19,37 @@ struct World {
     online: Vec<bool>,
 }
 
-fn world_of(n: usize) -> impl Strategy<Value = World> {
-    proptest::collection::vec(
-        ((-1000.0f64..1000.0, -1000.0f64..1000.0), (-30.0f64..30.0, -30.0f64..30.0), any::<bool>()),
-        n..=n,
-    )
-    .prop_map(|specs| {
-        let positions = specs.iter().map(|((x, y), _, _)| Point::new(*x, *y)).collect();
-        let velocities = specs.iter().map(|(_, (vx, vy), _)| Point::new(*vx, *vy)).collect();
-        let mut online: Vec<bool> = specs.iter().map(|(_, _, o)| *o).collect();
-        online[0] = true;
-        World { positions, velocities, online }
+fn gen_world(rng: &mut SimRng, n: usize) -> World {
+    let positions = (0..n)
+        .map(|_| Point::new(rng.range_f64(-1000.0, 1000.0), rng.range_f64(-1000.0, 1000.0)))
+        .collect();
+    let velocities = (0..n)
+        .map(|_| Point::new(rng.range_f64(-30.0, 30.0), rng.range_f64(-30.0, 30.0)))
+        .collect();
+    // Ensure at least vehicle 0 is online so protocols have a holder.
+    let mut online: Vec<bool> = (0..n).map(|_| rng.chance(0.5)).collect();
+    online[0] = true;
+    World { positions, velocities, online }
+}
+
+fn world_strategy(max_n: usize) -> FromFn<impl Fn(&mut SimRng) -> World> {
+    from_fn(move |rng| {
+        let n = rng.range_u64(2, max_n as u64) as usize;
+        gen_world(rng, n)
     })
 }
 
-fn world_strategy(max_n: usize) -> impl Strategy<Value = World> {
-    proptest::collection::vec(
-        ((-1000.0f64..1000.0, -1000.0f64..1000.0), (-30.0f64..30.0, -30.0f64..30.0), any::<bool>()),
-        2..max_n,
-    )
-    .prop_map(|specs| {
-        let positions = specs.iter().map(|((x, y), _, _)| Point::new(*x, *y)).collect();
-        let velocities = specs.iter().map(|(_, (vx, vy), _)| Point::new(*vx, *vy)).collect();
-        // Ensure at least vehicle 0 is online so protocols have a holder.
-        let mut online: Vec<bool> = specs.iter().map(|(_, _, o)| *o).collect();
-        online[0] = true;
-        World { positions, velocities, online }
+/// Two independently generated worlds of the same (random) size — the
+/// before/after pair the maintenance invariants check.
+fn world_pair() -> FromFn<impl Fn(&mut SimRng) -> (World, World)> {
+    from_fn(|rng| {
+        let n = rng.range_u64(2, 24) as usize;
+        (gen_world(rng, n), gen_world(rng, n))
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+prop! {
+    #![cases(64)]
 
     // Clustering invariants: every online vehicle gets a head; heads head
     // themselves; members lists are consistent; offline vehicles excluded.
@@ -92,7 +94,7 @@ proptest! {
     // online vehicle gets a head, heads head themselves, members partition
     // the online set — regardless of what the previous round looked like.
     #[test]
-    fn maintenance_invariants((before, after) in (2usize..24).prop_flat_map(|n| (world_of(n), world_of(n)))) {
+    fn maintenance_invariants((before, after) in world_pair()) {
         let cfg = ClusterConfig::multi_hop();
         let table_before = NeighborTable::build(&before.positions, &before.online, 300.0);
         let world_before = WorldView {
@@ -136,7 +138,7 @@ proptest! {
     // Routing safety: protocols only ever forward to actual neighbors that
     // have not carried the packet, and never to the holder itself.
     #[test]
-    fn routing_forwards_only_to_fresh_neighbors(w in world_strategy(30), dst_pick in any::<u16>(), carried_mask in any::<u32>()) {
+    fn routing_forwards_only_to_fresh_neighbors(w in world_strategy(30), dst_pick in any_u16(), carried_mask in any_u32()) {
         let table = NeighborTable::build(&w.positions, &w.online, 300.0);
         let world = WorldView {
             positions: &w.positions,

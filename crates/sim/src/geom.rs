@@ -369,8 +369,9 @@ mod tests {
     fn spatial_grid_matches_brute_force() {
         use crate::rng::SimRng;
         let mut rng = SimRng::seed_from(17);
-        let pts: Vec<Point> =
-            (0..300).map(|_| Point::new(rng.range_f64(0.0, 1000.0), rng.range_f64(0.0, 1000.0))).collect();
+        let pts: Vec<Point> = (0..300)
+            .map(|_| Point::new(rng.range_f64(0.0, 1000.0), rng.range_f64(0.0, 1000.0)))
+            .collect();
         let mut grid = SpatialGrid::new(100.0);
         grid.rebuild(pts.iter().copied());
         for probe in 0..20 {

@@ -45,7 +45,9 @@ pub mod prelude {
     pub use crate::geom::{Point, Rect, Segment, SpatialGrid};
     pub use crate::metrics::{Counter, Metrics, Ratio, Summary};
     pub use crate::mobility::{idm_acceleration, Fleet, IdmParams, Mobility, Vehicle};
-    pub use crate::node::{Kinematics, Resources, SaeLevel, SensorSuite, VehicleId, VehicleProfile};
+    pub use crate::node::{
+        Kinematics, Resources, SaeLevel, SensorSuite, VehicleId, VehicleProfile,
+    };
     pub use crate::radio::{Cellular, Channel, NeighborTable, Rsu, RsuId, RsuNetwork};
     pub use crate::rng::SimRng;
     pub use crate::roadnet::{NodeId, RoadId, RoadNetwork};

@@ -394,8 +394,7 @@ fn step_waypoint(
         let a = net.pos(from);
         let b = net.pos(to);
         let leg_len = a.distance(b);
-        let speed_limit =
-            net.road_between(from, to).map_or(13.9, |rid| net.road(rid).speed_limit);
+        let speed_limit = net.road_between(from, to).map_or(13.9, |rid| net.road(rid).speed_limit);
         let speed = speed_limit * w.speed_factor;
         let step_m = speed * remaining;
         if w.progress_m + step_m < leg_len {

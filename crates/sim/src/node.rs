@@ -94,7 +94,11 @@ impl SensorSuite {
 
     /// Number of sensor classes present.
     pub const fn count(self) -> u8 {
-        self.camera as u8 + self.lidar as u8 + self.radar as u8 + self.infrared as u8 + self.gnss as u8
+        self.camera as u8
+            + self.lidar as u8
+            + self.radar as u8
+            + self.infrared as u8
+            + self.gnss as u8
     }
 }
 

@@ -174,12 +174,9 @@ impl RsuNetwork {
 
     /// The nearest online RSU covering `pos`, if any.
     pub fn covering(&self, pos: Point) -> Option<&Rsu> {
-        self.rsus
-            .iter()
-            .filter(|r| r.online && r.pos.distance(pos) <= r.range_m)
-            .min_by(|a, b| {
-                a.pos.distance_sq(pos).partial_cmp(&b.pos.distance_sq(pos)).expect("finite")
-            })
+        self.rsus.iter().filter(|r| r.online && r.pos.distance(pos) <= r.range_m).min_by(|a, b| {
+            a.pos.distance_sq(pos).partial_cmp(&b.pos.distance_sq(pos)).expect("finite")
+        })
     }
 
     /// Fraction of RSUs currently online.
@@ -227,7 +224,12 @@ impl Cellular {
 
     /// A jammed / destroyed cell (paper §I: "jamming or inaccessibility").
     pub fn unavailable() -> Self {
-        Cellular { available: false, rtt_mean_s: 0.0, congestion_per_user_s: 0.0, congestion_knee: 0 }
+        Cellular {
+            available: false,
+            rtt_mean_s: 0.0,
+            congestion_per_user_s: 0.0,
+            congestion_knee: 0,
+        }
     }
 
     /// Round-trip latency with `active_users` concurrent users, or `None`
@@ -432,11 +434,7 @@ mod tests {
 
     #[test]
     fn neighbor_table_symmetry_and_exclusion() {
-        let positions = vec![
-            Point::new(0.0, 0.0),
-            Point::new(100.0, 0.0),
-            Point::new(1000.0, 0.0),
-        ];
+        let positions = vec![Point::new(0.0, 0.0), Point::new(100.0, 0.0), Point::new(1000.0, 0.0)];
         let online = vec![true, true, true];
         let table = NeighborTable::build(&positions, &online, 300.0);
         assert_eq!(table.of(VehicleId(0)), &[VehicleId(1)]);

@@ -35,12 +35,7 @@ impl SimRng {
     pub fn seed_from(seed: u64) -> Self {
         let mut sm = seed;
         SimRng {
-            s: [
-                splitmix64(&mut sm),
-                splitmix64(&mut sm),
-                splitmix64(&mut sm),
-                splitmix64(&mut sm),
-            ],
+            s: [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)],
         }
     }
 

@@ -91,7 +91,13 @@ impl RoadNetwork {
     }
 
     /// Adds a two-way road (one segment per direction); returns both ids.
-    pub fn add_two_way(&mut self, a: NodeId, b: NodeId, speed_limit: f64, lanes: u8) -> (RoadId, RoadId) {
+    pub fn add_two_way(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        speed_limit: f64,
+        lanes: u8,
+    ) -> (RoadId, RoadId) {
         (self.add_road(a, b, speed_limit, lanes), self.add_road(b, a, speed_limit, lanes))
     }
 
@@ -130,9 +136,7 @@ impl RoadNetwork {
     pub fn nearest_node(&self, p: Point) -> Option<NodeId> {
         self.intersections
             .iter()
-            .min_by(|a, b| {
-                a.pos.distance_sq(p).partial_cmp(&b.pos.distance_sq(p)).expect("finite")
-            })
+            .min_by(|a, b| a.pos.distance_sq(p).partial_cmp(&b.pos.distance_sq(p)).expect("finite"))
             .map(|i| i.id)
     }
 
@@ -272,9 +276,7 @@ impl RoadNetwork {
     pub fn distance_to_nearest_road(&self, p: Point) -> f64 {
         self.roads
             .iter()
-            .map(|r| {
-                crate::geom::Segment::new(self.pos(r.from), self.pos(r.to)).distance_to(p)
-            })
+            .map(|r| crate::geom::Segment::new(self.pos(r.from), self.pos(r.to)).distance_to(p))
             .fold(f64::INFINITY, f64::min)
     }
 }
@@ -391,6 +393,9 @@ mod tests {
         assert!((net.distance_to_nearest_road(Point::new(50.0, 50.0)) - 50.0).abs() < 1e-9);
         // Off-grid point.
         assert!((net.distance_to_nearest_road(Point::new(-30.0, 0.0)) - 30.0).abs() < 1e-9);
-        assert_eq!(RoadNetwork::new().distance_to_nearest_road(Point::new(0.0, 0.0)), f64::INFINITY);
+        assert_eq!(
+            RoadNetwork::new().distance_to_nearest_road(Point::new(0.0, 0.0)),
+            f64::INFINITY
+        );
     }
 }

@@ -257,10 +257,7 @@ impl Scenario {
     /// in Fig. 2.
     pub fn neighbor_churn_per_minute(&mut self, ticks: usize) -> f64 {
         use std::collections::BTreeSet;
-        let mut prev: Vec<BTreeSet<u32>> = self
-            .neighbor_table()
-            .len_iter()
-            .collect();
+        let mut prev: Vec<BTreeSet<u32>> = self.neighbor_table().len_iter().collect();
         let mut changes = 0usize;
         for _ in 0..ticks {
             self.tick();
@@ -283,9 +280,8 @@ impl Scenario {
 impl NeighborTable {
     /// Iterates neighbor id sets per vehicle (helper for churn measurement).
     pub fn len_iter(&self) -> impl Iterator<Item = std::collections::BTreeSet<u32>> + '_ {
-        (0..self.len()).map(move |i| {
-            self.of(crate::node::VehicleId(i as u32)).iter().map(|v| v.0).collect()
-        })
+        (0..self.len())
+            .map(move |i| self.of(crate::node::VehicleId(i as u32)).iter().map(|v| v.0).collect())
     }
 }
 
@@ -381,8 +377,7 @@ mod tests {
             {
                 street_ok += 1;
             }
-            if s
-                .try_deliver_between(Point::new(50.0, 50.0), Point::new(160.0, 160.0), 2, 128)
+            if s.try_deliver_between(Point::new(50.0, 50.0), Point::new(160.0, 160.0), 2, 128)
                 .is_some()
             {
                 block_ok += 1;

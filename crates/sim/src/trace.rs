@@ -127,7 +127,7 @@ mod tests {
         let mut now = SimTime::ZERO;
         for _ in 0..ticks {
             fleet.step(0.5, &net, &mut rng);
-            now = now + SimDuration::from_millis(500);
+            now += SimDuration::from_millis(500);
             trace.record(now, &fleet);
         }
         trace

@@ -1,18 +1,19 @@
 //! Property-based tests for the simulation substrate.
 
-use proptest::prelude::*;
 use vc_sim::event::EventQueue;
 use vc_sim::geom::{Point, Rect, Segment, SpatialGrid};
 use vc_sim::metrics::Summary;
 use vc_sim::rng::SimRng;
 use vc_sim::time::{SimDuration, SimTime};
+use vc_testkit::prop::strategy::{any_u64, from_fn, vec, FromFn};
+use vc_testkit::{prop, prop_assert, prop_assert_eq};
 
-fn pt() -> impl Strategy<Value = Point> {
-    (-1e4..1e4, -1e4..1e4).prop_map(|(x, y)| Point::new(x, y))
+fn pt() -> FromFn<impl Fn(&mut SimRng) -> Point> {
+    from_fn(|rng| Point::new(rng.range_f64(-1e4, 1e4), rng.range_f64(-1e4, 1e4)))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+prop! {
+    #![cases(128)]
 
     // ---- time ----
 
@@ -25,7 +26,7 @@ proptest! {
     }
 
     #[test]
-    fn saturating_since_never_panics(a in any::<u64>(), b in any::<u64>()) {
+    fn saturating_since_never_panics(a in any_u64(), b in any_u64()) {
         let x = SimTime::from_micros(a);
         let y = SimTime::from_micros(b);
         let d = x.saturating_since(y);
@@ -68,7 +69,7 @@ proptest! {
     // ---- spatial grid vs brute force ----
 
     #[test]
-    fn grid_matches_brute_force(points in proptest::collection::vec(pt(), 1..80),
+    fn grid_matches_brute_force(points in vec(pt(), 1..80),
                                 center in pt(), radius in 1.0f64..500.0) {
         let mut grid = SpatialGrid::new(100.0);
         grid.rebuild(points.iter().copied());
@@ -87,7 +88,7 @@ proptest! {
     // ---- rng ----
 
     #[test]
-    fn rng_range_respects_bounds(seed in any::<u64>(), lo in 0u64..1000, span in 1u64..1000) {
+    fn rng_range_respects_bounds(seed in any_u64(), lo in 0u64..1000, span in 1u64..1000) {
         let mut rng = SimRng::seed_from(seed);
         for _ in 0..50 {
             let x = rng.range_u64(lo, lo + span);
@@ -96,7 +97,7 @@ proptest! {
     }
 
     #[test]
-    fn rng_shuffle_is_permutation(seed in any::<u64>(), n in 1usize..50) {
+    fn rng_shuffle_is_permutation(seed in any_u64(), n in 1usize..50) {
         let mut rng = SimRng::seed_from(seed);
         let mut v: Vec<usize> = (0..n).collect();
         rng.shuffle(&mut v);
@@ -108,7 +109,7 @@ proptest! {
     // ---- event queue ordering ----
 
     #[test]
-    fn events_always_pop_ordered(times in proptest::collection::vec(0u64..10_000, 1..64)) {
+    fn events_always_pop_ordered(times in vec(0u64..10_000, 1..64)) {
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule(SimTime::from_micros(t), i);
@@ -137,7 +138,7 @@ proptest! {
     // ---- metrics ----
 
     #[test]
-    fn summary_percentiles_are_monotone(xs in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+    fn summary_percentiles_are_monotone(xs in vec(-1e6f64..1e6, 1..100)) {
         let mut s = Summary::new();
         for &x in &xs {
             s.record(x);

@@ -1,0 +1,298 @@
+//! A small hand-rolled JSON value and writer.
+//!
+//! Replaces `serde_json` for the workspace's artifact files (experiment
+//! tables, bench results). Deliberately minimal: build a [`Json`] tree,
+//! render it with [`Json::to_string_pretty`]. Object key order is preserved
+//! as inserted, so output is byte-for-byte deterministic — which is what the
+//! CI determinism gate diffs.
+//!
+//! ```
+//! use vc_testkit::json::Json;
+//! let doc = Json::object([
+//!     ("id", Json::from("E1")),
+//!     ("rows", Json::array([Json::from(1u64), Json::from(2u64)])),
+//! ]);
+//! assert_eq!(doc["id"], "E1");
+//! assert_eq!(doc["rows"][1], Json::from(2u64));
+//! ```
+
+use std::ops::Index;
+
+/// A JSON document tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (serialized without a trailing `.0` when integral).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; key order is preserved as inserted.
+    Obj(Vec<(String, Json)>),
+}
+
+static NULL: Json = Json::Null;
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    pub fn object<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array from values.
+    pub fn array(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// Looks up a key in an object; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric content, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Renders compact single-line JSON.
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Renders human-readable JSON with two-space indentation and a trailing
+    /// newline-free final line (callers append their own newline).
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => write_number(out, *n),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    item.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    write_escaped(out, key);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    value.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_number(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        // JSON has no NaN/Infinity; degrade to null like serde_json's
+        // arbitrary-precision-off behaviour degrades to error.
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() < 9.007_199_254_740_992e15 {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        out.push_str(&format!("{n}"));
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+macro_rules! json_from_number {
+    ($($ty:ty),+) => {$(
+        impl From<$ty> for Json {
+            fn from(n: $ty) -> Json {
+                Json::Num(n as f64)
+            }
+        }
+    )+};
+}
+
+json_from_number!(f64, f32, u64, u32, u16, u8, i64, i32, usize);
+
+/// Object field access; yields `Json::Null` for missing keys.
+impl Index<&str> for Json {
+    type Output = Json;
+
+    fn index(&self, key: &str) -> &Json {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+/// Array element access; yields `Json::Null` out of bounds.
+impl Index<usize> for Json {
+    type Output = Json;
+
+    fn index(&self, idx: usize) -> &Json {
+        match self {
+            Json::Arr(items) => items.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<str> for Json {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Json {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Json {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_pretty_and_compact() {
+        let doc = Json::object([
+            ("id", Json::from("E1")),
+            ("n", Json::from(3u64)),
+            ("frac", Json::from(0.5)),
+            ("ok", Json::from(true)),
+            ("rows", Json::array([Json::array([Json::from("a")]), Json::Arr(vec![])])),
+            ("none", Json::Null),
+        ]);
+        let compact = doc.to_string_compact();
+        assert_eq!(
+            compact,
+            r#"{"id":"E1","n":3,"frac":0.5,"ok":true,"rows":[["a"],[]],"none":null}"#
+        );
+        let pretty = doc.to_string_pretty();
+        assert!(pretty.contains("\n  \"id\": \"E1\""));
+        assert!(pretty.ends_with('}'));
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let j = Json::from("a\"b\\c\nd\te\u{1}");
+        assert_eq!(j.to_string_compact(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn indexing_and_equality() {
+        let doc = Json::object([("xs", Json::array([Json::from(1u64), Json::from("two")]))]);
+        assert_eq!(doc["xs"][1], "two");
+        assert_eq!(doc["xs"][0].as_f64(), Some(1.0));
+        assert_eq!(doc["missing"], Json::Null);
+        assert_eq!(doc["xs"][9], Json::Null);
+        assert_eq!(doc["xs"][1], "two".to_string());
+    }
+
+    #[test]
+    fn numbers_render_integrally_when_integral() {
+        assert_eq!(Json::from(-3i64).to_string_compact(), "-3");
+        assert_eq!(Json::from(2.25).to_string_compact(), "2.25");
+        assert_eq!(Json::Num(f64::NAN).to_string_compact(), "null");
+    }
+
+    #[test]
+    fn key_order_is_preserved() {
+        let doc = Json::object([("z", Json::Null), ("a", Json::Null)]);
+        let s = doc.to_string_compact();
+        assert!(s.find("\"z\"").unwrap() < s.find("\"a\"").unwrap());
+    }
+}

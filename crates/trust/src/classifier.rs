@@ -43,12 +43,8 @@ pub fn classify(reports: &[Report], config: &ClassifierConfig) -> Vec<EventClust
             if centroid.distance(report.location) > config.radius_m {
                 continue;
             }
-            let earliest = cluster
-                .reports
-                .iter()
-                .map(|r| r.observed_at)
-                .min()
-                .expect("cluster non-empty");
+            let earliest =
+                cluster.reports.iter().map(|r| r.observed_at).min().expect("cluster non-empty");
             if report.observed_at.saturating_since(earliest) > config.window {
                 continue;
             }
@@ -98,20 +94,16 @@ mod tests {
 
     #[test]
     fn different_kinds_split() {
-        let reports = vec![
-            report(EventKind::Ice, 0.0, 10, 1),
-            report(EventKind::Accident, 0.0, 10, 2),
-        ];
+        let reports =
+            vec![report(EventKind::Ice, 0.0, 10, 1), report(EventKind::Accident, 0.0, 10, 2)];
         let clusters = classify(&reports, &ClassifierConfig::default());
         assert_eq!(clusters.len(), 2);
     }
 
     #[test]
     fn distant_events_split() {
-        let reports = vec![
-            report(EventKind::Ice, 0.0, 10, 1),
-            report(EventKind::Ice, 5000.0, 10, 2),
-        ];
+        let reports =
+            vec![report(EventKind::Ice, 0.0, 10, 1), report(EventKind::Ice, 5000.0, 10, 2)];
         let clusters = classify(&reports, &ClassifierConfig::default());
         assert_eq!(clusters.len(), 2);
     }

@@ -263,10 +263,7 @@ mod tests {
 
     #[test]
     fn empty_multi_path_is_zero() {
-        assert_eq!(
-            multi_path_trust(&[], &NodeTrust::new(), &ProvenanceConfig::default()),
-            0.0
-        );
+        assert_eq!(multi_path_trust(&[], &NodeTrust::new(), &ProvenanceConfig::default()), 0.0);
     }
 
     #[test]

@@ -84,10 +84,7 @@ impl EventCluster {
         if self.reports.is_empty() {
             return Point::new(0.0, 0.0);
         }
-        let sum = self
-            .reports
-            .iter()
-            .fold(Point::new(0.0, 0.0), |acc, r| acc + r.location);
+        let sum = self.reports.iter().fold(Point::new(0.0, 0.0), |acc, r| acc + r.location);
         sum / self.reports.len() as f64
     }
 

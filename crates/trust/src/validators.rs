@@ -83,10 +83,7 @@ impl Validator for WeightedVote {
             // Path independence: discount a report by its maximum overlap
             // with reports already counted — k colluding copies through the
             // same relay chain weigh barely more than one.
-            let max_overlap = counted
-                .iter()
-                .map(|c| path_overlap(report, c))
-                .fold(0.0, f64::max);
+            let max_overlap = counted.iter().map(|c| path_overlap(report, c)).fold(0.0, f64::max);
             let independence = 1.0 - max_overlap;
             let weight =
                 reputation.reliability(report.reporter) * independence * plausibility(report);
@@ -120,9 +117,7 @@ impl Validator for Bayesian {
         // Posterior log-odds starting from an even prior.
         let mut log_odds = 0.0f64;
         for report in &cluster.reports {
-            let r = reputation
-                .reliability(report.reporter)
-                .clamp(0.02, 0.98);
+            let r = reputation.reliability(report.reporter).clamp(0.02, 0.98);
             // Plausibility shrinks the evidence toward neutrality.
             let p = plausibility(report);
             let effective = 0.5 + (r - 0.5) * p;
@@ -218,7 +213,11 @@ mod tests {
 
     #[test]
     fn majority_follows_the_count() {
-        let c = cluster(vec![report(1, true, vec![]), report(2, true, vec![]), report(3, false, vec![])]);
+        let c = cluster(vec![
+            report(1, true, vec![]),
+            report(2, true, vec![]),
+            report(3, false, vec![]),
+        ]);
         let rep = ReputationStore::new();
         let v = MajorityVote;
         assert!((v.score(&c, &rep) - 2.0 / 3.0).abs() < 1e-12);

@@ -1,22 +1,24 @@
 //! Property-based tests for trust validators and the classifier.
 
-use proptest::prelude::*;
 use vc_sim::geom::Point;
 use vc_sim::node::VehicleId;
+use vc_sim::rng::SimRng;
 use vc_sim::time::SimTime;
+use vc_testkit::prop::strategy::{any_bool, any_u64, from_fn, vec, FromFn};
+use vc_testkit::{prop, prop_assert, prop_assert_eq};
 use vc_trust::prelude::*;
 
-fn report_strategy() -> impl Strategy<Value = Report> {
-    (
-        any::<u64>(),
-        any::<bool>(),
-        -100.0f64..100.0,
-        -100.0f64..100.0,
-        0.0f64..40.0,
-        proptest::collection::vec(any::<u8>(), 0..4),
-        0u64..100,
-    )
-        .prop_map(|(reporter, claim, x, y, speed, path, t)| Report {
+fn report_strategy() -> FromFn<impl Fn(&mut SimRng) -> Report> {
+    from_fn(|rng| {
+        let reporter = rng.next_u64();
+        let claim = rng.chance(0.5);
+        let x = rng.range_f64(-100.0, 100.0);
+        let y = rng.range_f64(-100.0, 100.0);
+        let speed = rng.range_f64(0.0, 40.0);
+        let path_len = rng.index(4);
+        let path = (0..path_len).map(|_| VehicleId(rng.range_u64(0, 256) as u32)).collect();
+        let t = rng.range_u64(0, 100);
+        Report {
             reporter,
             kind: EventKind::Ice,
             location: Point::new(x, y),
@@ -24,19 +26,20 @@ fn report_strategy() -> impl Strategy<Value = Report> {
             claim,
             reporter_pos: Point::new(x + 10.0, y),
             reporter_speed: speed,
-            path: path.into_iter().map(|p| VehicleId(p as u32)).collect(),
-        })
+            path,
+        }
+    })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+prop! {
+    #![cases(128)]
 
     // Scores stay in [0,1] for every validator over arbitrary clusters and
     // arbitrary reputation histories.
     #[test]
     fn scores_bounded(
-        reports in proptest::collection::vec(report_strategy(), 0..30),
-        history in proptest::collection::vec((any::<u64>(), any::<bool>()), 0..50),
+        reports in vec(report_strategy(), 0..30),
+        history in vec((any_u64(), any_bool()), 0..50),
     ) {
         let mut rep = ReputationStore::new();
         for (who, ok) in history {
@@ -53,7 +56,7 @@ proptest! {
     // Unanimous agreement from plausible reporters always wins every
     // validator's vote in the claimed direction.
     #[test]
-    fn unanimity_decides(claim in any::<bool>(), n in 1usize..15) {
+    fn unanimity_decides(claim in any_bool(), n in 1usize..15) {
         let reports: Vec<Report> = (0..n as u64)
             .map(|r| Report {
                 reporter: r,
@@ -82,7 +85,7 @@ proptest! {
     // reporter never decreases the majority or weighted score: a positive
     // vote can only pull the mean up.
     #[test]
-    fn confirmation_is_monotone_for_votes(base in proptest::collection::vec(report_strategy(), 1..15), extra_id in 5000u64..6000) {
+    fn confirmation_is_monotone_for_votes(base in vec(report_strategy(), 1..15), extra_id in 5000u64..6000) {
         let rep = ReputationStore::new();
         let cluster = EventCluster { reports: base.clone() };
         let maj_before = MajorityVote.score(&cluster, &rep);
@@ -106,7 +109,7 @@ proptest! {
     // The classifier never merges different event kinds and never loses or
     // duplicates reports.
     #[test]
-    fn classifier_partitions(reports in proptest::collection::vec(report_strategy(), 0..40)) {
+    fn classifier_partitions(reports in vec(report_strategy(), 0..40)) {
         let clusters = classify(&reports, &ClassifierConfig::default());
         let total: usize = clusters.iter().map(|c| c.len()).sum();
         prop_assert_eq!(total, reports.len(), "reports lost or duplicated");

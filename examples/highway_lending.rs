@@ -34,7 +34,14 @@ fn main() {
         ta.register(id.clone(), VehicleId(v));
         wallets.push(
             registry
-                .issue_wallet(&ta, &id, 8, SimTime::ZERO, SimTime::from_secs(86_400), &v.to_be_bytes())
+                .issue_wallet(
+                    &ta,
+                    &id,
+                    8,
+                    SimTime::ZERO,
+                    SimTime::from_secs(86_400),
+                    &v.to_be_bytes(),
+                )
                 .expect("wallet"),
         );
     }
@@ -113,8 +120,13 @@ fn main() {
     //    successor host.
     let successor_secret = EphemeralSecret::from_seed(b"successor-longterm");
     let checkpoint = Checkpoint { task: TaskId(1), done_gflop: 480.0, state: result_payload };
-    let sealed =
-        seal_checkpoint(&checkpoint, VehicleId(1), VehicleId(5), &successor_secret.public_share(), 7);
+    let sealed = seal_checkpoint(
+        &checkpoint,
+        VehicleId(1),
+        VehicleId(5),
+        &successor_secret.public_share(),
+        7,
+    );
     let resumed = open_checkpoint(&sealed, &successor_secret).expect("successor opens");
     println!(
         "handover: {:.0}/600 GFLOP checkpointed over {} encrypted bytes; successor resumes",

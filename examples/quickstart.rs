@@ -67,14 +67,8 @@ fn main() {
     let policy = Policy::new()
         .allow(Action::Read, Expr::HasRole(Role::Storage))
         .allow_in_emergency(Action::Read, Expr::True);
-    let mut package = DataPackage::seal_new(
-        1,
-        b"hd-map tile #451",
-        policy,
-        &owner,
-        &pipeline.tpd_share(),
-        7,
-    );
+    let mut package =
+        DataPackage::seal_new(1, b"hd-map tile #451", policy, &owner, &pipeline.tpd_share(), 7);
     let ctx = Context::member_at(Point::new(10.0, 10.0), now);
     let proof = SecurePipeline::make_proof(&creds, 1, now);
     let data = pipeline

@@ -42,10 +42,7 @@ fn main() {
     let owner = SigningKey::from_seed(b"owner-vehicle");
     let depot = vcloud::prelude::Rect::new(Point::new(0.0, 0.0), Point::new(500.0, 500.0));
     let policy = Policy::new()
-        .allow(
-            Action::Read,
-            Expr::HasRole(Role::Storage).and(Expr::WithinRegion(depot)),
-        )
+        .allow(Action::Read, Expr::HasRole(Role::Storage).and(Expr::WithinRegion(depot)))
         .allow_in_emergency(Action::Read, Expr::AutomationAtLeast(SaeLevel::L2));
     let mut package = DataPackage::seal_new(
         77,
@@ -55,7 +52,10 @@ fn main() {
         &pipeline.tpd_share(),
         12345,
     );
-    println!("owner sealed {} ciphertext bytes under a role+region policy", package.ciphertext_len());
+    println!(
+        "owner sealed {} ciphertext bytes under a role+region policy",
+        package.ciphertext_len()
+    );
 
     // Admission for both vehicles.
     let tok_a = pipeline

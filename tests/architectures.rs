@@ -2,9 +2,7 @@
 //! lifecycle, failover, replication under churn, emergency switching.
 
 use vcloud::cloud::prelude::*;
-use vcloud::prelude::{
-    Cellular, OperatingMode as Mode, ScenarioBuilder, SimRng, VehicleId,
-};
+use vcloud::prelude::{Cellular, OperatingMode as Mode, ScenarioBuilder, SimRng, VehicleId};
 
 fn builder(seed: u64, n: usize) -> ScenarioBuilder {
     let mut b = ScenarioBuilder::new();
@@ -66,7 +64,8 @@ fn infrastructure_failover_to_dynamic() {
 #[test]
 fn broker_is_reelected_as_fleet_moves() {
     let scenario = builder(3, 40).urban_with_rsus();
-    let mut sim = CloudSim::new(scenario, ArchitectureKind::Dynamic, SchedulerConfig::default(), Kinematic);
+    let mut sim =
+        CloudSim::new(scenario, ArchitectureKind::Dynamic, SchedulerConfig::default(), Kinematic);
     let mut brokers = std::collections::BTreeSet::new();
     for _ in 0..40 {
         sim.run_ticks(10);
@@ -110,17 +109,22 @@ fn stationary_cloud_is_deterministic_and_stable() {
 #[test]
 fn replication_spans_cloud_members() {
     let scenario = builder(5, 40).urban_with_rsus();
-    let sim = CloudSim::new(scenario, ArchitectureKind::Dynamic, SchedulerConfig::default(), Kinematic);
+    let sim =
+        CloudSim::new(scenario, ArchitectureKind::Dynamic, SchedulerConfig::default(), Kinematic);
     let membership = sim.membership();
-    let hosts: Vec<ReplicaHost> = membership
-        .members
-        .iter()
-        .map(|&id| ReplicaHost { id, stay_estimate_s: 120.0 })
-        .collect();
+    let hosts: Vec<ReplicaHost> =
+        membership.members.iter().map(|&id| ReplicaHost { id, stay_estimate_s: 120.0 }).collect();
     assert!(hosts.len() >= 3, "need a real cluster");
     let mut rng = SimRng::seed_from(6);
     let mut mgr = ReplicationManager::new();
-    let file = mgr.publish(FileId(1), &vec![1u8; 100_000], 3, &hosts, PlacementStrategy::StabilityRanked, &mut rng);
+    let file = mgr.publish(
+        FileId(1),
+        &vec![1u8; 100_000],
+        3,
+        &hosts,
+        PlacementStrategy::StabilityRanked,
+        &mut rng,
+    );
     assert_eq!(file.holders.len(), 3);
     for h in &file.holders {
         assert!(membership.members.contains(h), "replicas only on members");

@@ -48,7 +48,8 @@ fn statistical_attacks_are_mitigated_not_eliminated() {
     assert!(sup_on.rate() > 0.0, "suppression cannot be fully eliminated by redundancy");
 
     let track_static = tracking_accuracy(IdScheme::StaticPseudonym, 40, 15, &mut rng);
-    let track_rotating = tracking_accuracy(IdScheme::RotatingPseudonym { period: 3 }, 40, 15, &mut rng);
+    let track_rotating =
+        tracking_accuracy(IdScheme::RotatingPseudonym { period: 3 }, 40, 15, &mut rng);
     let track_group = tracking_accuracy(IdScheme::GroupAnonymous, 40, 15, &mut rng);
     assert_eq!(track_static, 1.0);
     assert!(track_rotating < 1.0);

@@ -125,11 +125,8 @@ fn verifiable_execution_feeds_reputation() {
     // Adjudication dissenters become reputation evidence; after a few jobs
     // the trust layer discounts the cheater.
     let keys: Vec<SigningKey> = (0..3u8).map(|i| SigningKey::from_seed(&[i, 2])).collect();
-    let directory: BTreeMap<VehicleId, VerifyingKey> = keys
-        .iter()
-        .enumerate()
-        .map(|(i, k)| (VehicleId(i as u32), k.verifying_key()))
-        .collect();
+    let directory: BTreeMap<VehicleId, VerifyingKey> =
+        keys.iter().enumerate().map(|(i, k)| (VehicleId(i as u32), k.verifying_key())).collect();
     let mut reputation = ReputationStore::new();
     for job in 0..6u64 {
         let receipts: Vec<ResultReceipt> = keys
@@ -161,7 +158,9 @@ fn verifiable_execution_feeds_reputation() {
 
 #[test]
 fn provenance_trust_integrates_with_node_history() {
-    use vcloud::trust::provenance::{multi_path_trust, NodeTrust, ProvenanceConfig, ProvenancePath};
+    use vcloud::trust::provenance::{
+        multi_path_trust, NodeTrust, ProvenanceConfig, ProvenancePath,
+    };
     // Node trust bootstrapped from verifiable-execution outcomes above:
     let mut nodes = NodeTrust::new();
     nodes.set(VehicleId(0), 0.9);

@@ -24,9 +24,8 @@ fn ten_vehicles_admit_and_access_concurrently() {
     let mut grants = 0;
     for v in 0..10u32 {
         let role = if v % 2 == 0 { Role::Storage } else { Role::Member };
-        let creds = pipeline
-            .provision(VehicleId(v), attrs(role, SaeLevel::L4), now)
-            .expect("provision");
+        let creds =
+            pipeline.provision(VehicleId(v), attrs(role, SaeLevel::L4), now).expect("provision");
         let t = now + vcloud::prelude::SimDuration::from_millis(v as u64 * 10);
         let hello = creds.wallet.sign(format!("hello from {v}").as_bytes(), t);
         let token = pipeline.admit(&hello, ServiceId(1), t).expect("admit");
@@ -65,7 +64,14 @@ fn revoked_vehicle_is_locked_out_of_admission() {
     ta.revoke(&identity);
     let mut registry = vcloud::auth::pseudonym::PseudonymRegistry::new();
     let err = registry
-        .issue_wallet(&ta, &identity, 4, now, now + vcloud::prelude::SimDuration::from_secs(100), b"s")
+        .issue_wallet(
+            &ta,
+            &identity,
+            4,
+            now,
+            now + vcloud::prelude::SimDuration::from_secs(100),
+            b"s",
+        )
         .unwrap_err();
     assert_eq!(err, vcloud::auth::identity::AuthError::Revoked);
 }
@@ -79,8 +85,8 @@ fn emergency_mode_unlocks_data_for_responders() {
         .expect("provision");
     let owner = SigningKey::from_seed(b"victim-vehicle");
     // Crash telemetry: normally private, emergency-readable by L4+.
-    let policy = Policy::new()
-        .allow_in_emergency(Action::Read, Expr::AutomationAtLeast(SaeLevel::L4));
+    let policy =
+        Policy::new().allow_in_emergency(Action::Read, Expr::AutomationAtLeast(SaeLevel::L4));
     let mut package =
         DataPackage::seal_new(9, b"crash telemetry", policy, &owner, &pipeline.tpd_share(), 3);
     let hello = responder.wallet.sign(b"responder", now);
@@ -125,7 +131,13 @@ fn trust_feedback_loop_improves_verdicts() {
     };
     // Round 1: cold start, 3 liars vs 2 honest — the weighted vote follows
     // the (wrong) majority.
-    let verdicts = pipeline.validate_reports(&[mk(1, true), mk(2, true), mk(10, false), mk(11, false), mk(12, false)]);
+    let verdicts = pipeline.validate_reports(&[
+        mk(1, true),
+        mk(2, true),
+        mk(10, false),
+        mk(11, false),
+        mk(12, false),
+    ]);
     assert!(!verdicts[0].2, "cold start follows the majority");
     // Ground truth arrives (the road WAS blocked): feed outcomes back.
     for r in [1, 2] {
@@ -139,7 +151,13 @@ fn trust_feedback_loop_improves_verdicts() {
         }
     }
     // Round 2: same liars, now discounted.
-    let verdicts = pipeline.validate_reports(&[mk(1, true), mk(2, true), mk(10, false), mk(11, false), mk(12, false)]);
+    let verdicts = pipeline.validate_reports(&[
+        mk(1, true),
+        mk(2, true),
+        mk(10, false),
+        mk(11, false),
+        mk(12, false),
+    ]);
     assert!(verdicts[0].2, "warmed reputation overrides the lying majority");
 }
 
@@ -150,7 +168,8 @@ fn cloud_tasks_complete_under_secure_admission() {
     let now = SimTime::from_secs(1);
     let mut admitted = Vec::new();
     for v in 0..8u32 {
-        let creds = pipeline.provision(VehicleId(v), attrs(Role::Member, SaeLevel::L4), now).unwrap();
+        let creds =
+            pipeline.provision(VehicleId(v), attrs(Role::Member, SaeLevel::L4), now).unwrap();
         let hello = creds.wallet.sign(b"join", now);
         if pipeline.admit(&hello, ServiceId(1), now).is_ok() {
             admitted.push(VehicleId(v));
