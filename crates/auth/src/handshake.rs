@@ -21,6 +21,7 @@ use crate::identity::AuthError;
 use crate::pseudonym::{LinkageSeed, PseudonymMessage, PseudonymWallet};
 use vc_crypto::dh::{EphemeralSecret, PublicShare, SessionKey};
 use vc_crypto::schnorr::VerifyingKey;
+use vc_obs::Recorder;
 use vc_sim::time::{SimDuration, SimTime};
 
 /// The first handshake message (and, with `transcript` set, the second).
@@ -130,6 +131,92 @@ pub fn respond(
     let envelope = wallet.sign(&accept_payload(&share, &initiator_share), now);
     let key = secret.agree(&initiator_share, b"vc-handshake-session");
     Ok((key, HandshakeMessage { envelope }))
+}
+
+/// Environment an observed handshake runs in (trust anchors plus the
+/// modeled one-hop V2V latency). Bundled so [`run_handshake_obs`] keeps a
+/// small signature.
+pub struct HandshakeObsParams<'a> {
+    /// The trusted authority's verification key.
+    pub ta_key: &'a VerifyingKey,
+    /// The current revocation list.
+    pub crl: &'a [LinkageSeed],
+    /// Freshness window for message timestamps.
+    pub window: SimDuration,
+    /// Modeled one-hop V2V latency each handshake message costs. All
+    /// latency in the trace is this modeled *sim* time, never wall time,
+    /// so traces stay deterministic.
+    pub hop: SimDuration,
+}
+
+/// Runs a complete initiator↔responder handshake with instrumentation:
+/// an `auth`/`handshake` span covering the exchange plus one event per
+/// protocol phase (`handshake.hello`, `handshake.accept`,
+/// `handshake.finish`), each stamped with the modeled sim-time the phase
+/// completes at (`start`, `start + hop`, `start + 2·hop`). Failures emit
+/// `handshake.fail` with the failing phase before the error propagates.
+///
+/// # Errors
+///
+/// Any [`AuthError`] from either side of the exchange.
+pub fn run_handshake_obs(
+    a_wallet: &PseudonymWallet,
+    b_wallet: &PseudonymWallet,
+    params: &HandshakeObsParams<'_>,
+    start: SimTime,
+    entropy: u64,
+    mut rec: Option<&mut Recorder>,
+) -> Result<SessionKey, AuthError> {
+    let span = rec.as_deref_mut().map(|r| r.span_begin(start, "auth", "handshake"));
+    let fail = |rec: &mut Option<&mut Recorder>, at: SimTime, phase: &'static str, e: AuthError| {
+        if let Some(r) = rec.as_deref_mut() {
+            r.event(
+                at,
+                "auth",
+                "handshake.fail",
+                vec![("phase", phase.into()), ("error", format!("{e:?}").into())],
+            );
+            if let Some(id) = span {
+                r.span_end(at, id);
+            }
+        }
+        e
+    };
+
+    let (init, hello) = Initiator::hello(a_wallet, start, entropy);
+    if let Some(r) = rec.as_deref_mut() {
+        let bytes = hello.envelope.payload.len();
+        r.event(start, "auth", "handshake.hello", vec![("payload_bytes", bytes.into())]);
+    }
+
+    let t_accept = start + params.hop;
+    let (b_key, accept) = respond(
+        &hello,
+        b_wallet,
+        params.ta_key,
+        params.crl,
+        t_accept,
+        params.window,
+        entropy.wrapping_add(1),
+    )
+    .map_err(|e| fail(&mut rec, t_accept, "accept", e))?;
+    if let Some(r) = rec.as_deref_mut() {
+        let bytes = accept.envelope.payload.len();
+        r.event(t_accept, "auth", "handshake.accept", vec![("payload_bytes", bytes.into())]);
+    }
+
+    let t_finish = t_accept + params.hop;
+    let a_key = init
+        .finish(&accept, params.ta_key, params.crl, t_finish, params.window)
+        .map_err(|e| fail(&mut rec, t_finish, "finish", e))?;
+    debug_assert_eq!(a_key.0, b_key.0);
+    if let Some(r) = rec {
+        r.event(t_finish, "auth", "handshake.finish", Vec::new());
+        if let Some(id) = span {
+            r.span_end(t_finish, id);
+        }
+    }
+    Ok(a_key)
 }
 
 #[cfg(test)]
@@ -251,6 +338,71 @@ mod tests {
             respond(&hello, &net.bob, &net.ta.public_key(), net.registry.crl(), now, window(), 2)
                 .unwrap_err();
         assert_eq!(err, AuthError::Revoked);
+    }
+
+    #[test]
+    fn observed_handshake_spans_and_phases() {
+        use vc_sim::time::SimDuration;
+
+        let net = setup();
+        let params = HandshakeObsParams {
+            ta_key: &net.ta.public_key(),
+            crl: net.registry.crl(),
+            window: window(),
+            hop: SimDuration::from_millis(3),
+        };
+        let mut rec = Recorder::new();
+        let start = SimTime::from_secs(10);
+        let key =
+            run_handshake_obs(&net.alice, &net.bob, &params, start, 7, Some(&mut rec)).unwrap();
+        assert!(!key.0.iter().all(|&b| b == 0));
+        assert_eq!(rec.hub().counter("auth.handshake.hello"), 1);
+        assert_eq!(rec.hub().counter("auth.handshake.accept"), 1);
+        assert_eq!(rec.hub().counter("auth.handshake.finish"), 1);
+        assert_eq!(rec.hub().counter("auth.handshake.fail"), 0);
+        // The span covers both modeled hops.
+        let hist = rec.hub().histogram("auth.handshake.us").unwrap();
+        assert_eq!(hist.count(), 1);
+        assert_eq!(hist.max(), Some(6000.0));
+        assert_eq!(rec.open_spans(), 0);
+        // The no-probe path derives the same key: tracing is behaviourally
+        // inert.
+        let silent = run_handshake_obs(&net.alice, &net.bob, &params, start, 7, None).unwrap();
+        assert_eq!(silent.0, key.0);
+    }
+
+    #[test]
+    fn observed_handshake_failure_emits_phase() {
+        use vc_sim::time::SimDuration;
+
+        let mut net = setup();
+        net.registry.revoke_identity(net.alice.real_identity());
+        let params = HandshakeObsParams {
+            ta_key: &net.ta.public_key(),
+            crl: net.registry.crl(),
+            window: window(),
+            hop: SimDuration::from_millis(3),
+        };
+        let mut rec = Recorder::new();
+        let err = run_handshake_obs(
+            &net.alice,
+            &net.bob,
+            &params,
+            SimTime::from_secs(10),
+            7,
+            Some(&mut rec),
+        )
+        .unwrap_err();
+        assert_eq!(err, AuthError::Revoked);
+        assert_eq!(rec.hub().counter("auth.handshake.fail"), 1);
+        assert_eq!(rec.hub().counter("auth.handshake.accept"), 0);
+        // The span still closes on failure.
+        assert_eq!(rec.open_spans(), 0);
+        let fail = rec.events().find(|e| e.kind == "handshake.fail").unwrap();
+        assert!(fail
+            .fields
+            .iter()
+            .any(|(k, v)| *k == "phase" && *v == vc_obs::Value::Str("accept".into())));
     }
 
     #[test]

@@ -52,7 +52,10 @@ pub mod prelude {
     pub use crate::groupsig::{
         GroupCoordinator, GroupId, GroupMessage, MemberCredential, MemberTag,
     };
-    pub use crate::handshake::{respond as handshake_respond, HandshakeMessage, Initiator};
+    pub use crate::handshake::{
+        respond as handshake_respond, run_handshake_obs, HandshakeMessage, HandshakeObsParams,
+        Initiator,
+    };
     pub use crate::hybrid::{HybridCredential, HybridMessage, RegionalIssuer, TaOpening};
     pub use crate::identity::{AuthError, RealIdentity, TrustedAuthority};
     pub use crate::pseudonym::{

@@ -3,16 +3,24 @@
 use std::io::Write;
 use vc_bench::experiments::registry;
 
+const USAGE: &str =
+    "usage: experiments [--quick] [--seed N] [--json DIR] [--trace FILE] [--metrics] [--list] [e1..e15 ...]";
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut seed: u64 = 42;
     let mut json_dir: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut metrics = false;
+    let mut list = false;
     let mut wanted: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => quick = true,
+            "--metrics" => metrics = true,
+            "--list" => list = true,
             "--seed" => {
                 i += 1;
                 seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
@@ -27,13 +35,27 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            "--trace" => {
+                i += 1;
+                trace_path = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--trace needs a file path");
+                    std::process::exit(2);
+                }));
+            }
             flag if flag.starts_with("--") => {
-                eprintln!("unknown flag {flag}; usage: experiments [--quick] [--seed N] [--json DIR] [e1..e15 ...]");
+                eprintln!("unknown flag {flag}; {USAGE}");
                 std::process::exit(2);
             }
             id => wanted.push(id.to_lowercase()),
         }
         i += 1;
+    }
+
+    if list {
+        for exp in registry() {
+            println!("{:<4} {}", exp.id, exp.desc);
+        }
+        return;
     }
 
     let selected: Vec<_> = registry()
@@ -42,7 +64,7 @@ fn main() {
         .collect();
 
     if selected.is_empty() {
-        eprintln!("no experiments matched {wanted:?}; known: e1..e15");
+        eprintln!("no experiments matched {wanted:?}; known: e1..e15 (see --list)");
         std::process::exit(2);
     }
 
@@ -51,6 +73,40 @@ fn main() {
         if quick { "quick" } else { "full" },
         seed
     );
+
+    let emit = |id: &str, table: &vc_bench::Table, secs: f64| {
+        println!("{}", table.render());
+        println!("  [{id} completed in {secs:.1}s]\n");
+        if let Some(dir) = &json_dir {
+            std::fs::create_dir_all(dir).expect("create json dir");
+            let path = format!("{dir}/{id}.json");
+            let mut f = std::fs::File::create(&path).expect("create json file");
+            writeln!(f, "{}", table.to_json().to_string_pretty()).expect("write json");
+        }
+    };
+
+    // With a recorder attached, run everything sequentially in registry
+    // order through ONE recorder so the trace (and metrics) are a single
+    // coherent, deterministic stream.
+    if trace_path.is_some() || metrics {
+        let mut rec = vc_obs::Recorder::new();
+        for exp in &selected {
+            let start = std::time::Instant::now();
+            let table = (exp.run)(quick, seed, Some(&mut rec));
+            emit(exp.id, &table, start.elapsed().as_secs_f64());
+        }
+        if let Some(path) = &trace_path {
+            let mut f =
+                std::io::BufWriter::new(std::fs::File::create(path).expect("create trace file"));
+            rec.write_jsonl(&mut f).expect("write trace");
+            f.flush().expect("flush trace");
+            eprintln!("trace: {} events -> {path} ({} dropped)", rec.len(), rec.dropped());
+        }
+        if metrics {
+            print_metrics(rec.hub());
+        }
+        return;
+    }
 
     // Experiments are independent (each builds its own seeded scenarios), so
     // run them concurrently and print in order as results land. Timing-
@@ -69,7 +125,7 @@ fn main() {
             let id = exp.id;
             scope.spawn(move || {
                 let start = std::time::Instant::now();
-                let table = run(quick, seed);
+                let table = run(quick, seed, None);
                 results.lock().expect("no experiment panicked while publishing").push((
                     order,
                     id,
@@ -82,22 +138,47 @@ fn main() {
 
     let mut done = results.into_inner().expect("no experiment panicked");
     done.sort_by_key(|(order, _, _, _)| *order);
-    let emit = |id: &str, table: &vc_bench::Table, secs: f64| {
-        println!("{}", table.render());
-        println!("  [{id} completed in {secs:.1}s]\n");
-        if let Some(dir) = &json_dir {
-            std::fs::create_dir_all(dir).expect("create json dir");
-            let path = format!("{dir}/{id}.json");
-            let mut f = std::fs::File::create(&path).expect("create json file");
-            writeln!(f, "{}", table.to_json().to_string_pretty()).expect("write json");
-        }
-    };
     for (_, id, table, secs) in &done {
         emit(id, table, *secs);
     }
     for exp in sequential {
         let start = std::time::Instant::now();
-        let table = (exp.run)(quick, seed);
+        let table = (exp.run)(quick, seed, None);
         emit(exp.id, &table, start.elapsed().as_secs_f64());
+    }
+}
+
+/// Renders the metrics hub as aligned text tables (counters, gauges,
+/// histograms) on stdout.
+fn print_metrics(hub: &vc_obs::MetricsHub) {
+    let name_width = hub
+        .counters()
+        .map(|(n, _)| n.len())
+        .chain(hub.gauges().map(|(n, _)| n.len()))
+        .chain(hub.histograms().map(|(n, _)| n.len()))
+        .max()
+        .unwrap_or(4)
+        .max(4);
+    println!("metrics — counters");
+    for (name, value) in hub.counters() {
+        println!("  {name:<name_width$}  {value}");
+    }
+    println!("\nmetrics — gauges");
+    for (name, value) in hub.gauges() {
+        println!("  {name:<name_width$}  {value}");
+    }
+    println!("\nmetrics — histograms");
+    println!(
+        "  {:<name_width$}  {:>8}  {:>12}  {:>12}  {:>12}",
+        "name", "count", "mean", "p95", "max"
+    );
+    for (name, h) in hub.histograms() {
+        println!(
+            "  {name:<name_width$}  {:>8}  {:>12.3}  {:>12.3}  {:>12.3}",
+            h.count(),
+            h.mean().unwrap_or(0.0),
+            h.approx_percentile(0.95).unwrap_or(0.0),
+            h.max().unwrap_or(0.0),
+        );
     }
 }

@@ -1,0 +1,123 @@
+//! `vcstat` — summarizes a JSONL trace produced by `experiments --trace`.
+//!
+//! ```text
+//! vcstat out.jsonl            # per-component tables + 10 slowest spans
+//! vcstat out.jsonl --top 25   # more spans
+//! ```
+//!
+//! Reads the event stream back with `vc_testkit`'s JSON parser (the same
+//! writer produced it), so the tool needs no external dependencies. Output
+//! is deterministic: components and kinds sort lexically, span ties break
+//! on timestamp then span id.
+
+use std::collections::BTreeMap;
+use vc_testkit::json::Json;
+
+struct SpanRow {
+    elapsed_us: u64,
+    at_us: u64,
+    span: u64,
+    label: String,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<String> = None;
+    let mut top = 10usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--top" => {
+                i += 1;
+                top = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--top needs a number");
+                    std::process::exit(2);
+                });
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag {flag}; usage: vcstat TRACE.jsonl [--top N]");
+                std::process::exit(2);
+            }
+            p => path = Some(p.to_owned()),
+        }
+        i += 1;
+    }
+    let Some(path) = path else {
+        eprintln!("usage: vcstat TRACE.jsonl [--top N]");
+        std::process::exit(2);
+    };
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("vcstat: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+
+    // component -> kind -> count
+    let mut by_component: BTreeMap<String, BTreeMap<String, u64>> = BTreeMap::new();
+    let mut spans: Vec<SpanRow> = Vec::new();
+    let mut events = 0u64;
+    let mut first_us = u64::MAX;
+    let mut last_us = 0u64;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let doc = Json::parse(line).unwrap_or_else(|e| {
+            eprintln!("vcstat: {path}:{}: bad JSON: {e}", lineno + 1);
+            std::process::exit(1);
+        });
+        let component = doc["component"].as_str().unwrap_or("?").to_owned();
+        let kind = doc["kind"].as_str().unwrap_or("?").to_owned();
+        let at_us = doc["at_us"].as_f64().unwrap_or(0.0) as u64;
+        events += 1;
+        first_us = first_us.min(at_us);
+        last_us = last_us.max(at_us);
+        if let Some(elapsed) = doc["elapsed_us"].as_f64() {
+            spans.push(SpanRow {
+                elapsed_us: elapsed as u64,
+                at_us,
+                span: doc["span"].as_f64().unwrap_or(0.0) as u64,
+                label: format!("{component}.{kind}"),
+            });
+        }
+        *by_component.entry(component).or_default().entry(kind).or_default() += 1;
+    }
+
+    if events == 0 {
+        println!("vcstat: {path}: no events");
+        return;
+    }
+    println!(
+        "vcstat — {events} events, {} components, sim-time {:.3}s..{:.3}s\n",
+        by_component.len(),
+        first_us as f64 / 1e6,
+        last_us as f64 / 1e6,
+    );
+
+    let kind_width = by_component
+        .values()
+        .flat_map(|kinds| kinds.keys().map(|k| k.len()))
+        .max()
+        .unwrap_or(4)
+        .max(4);
+    println!("{:<width$}  {:>9}", "component / kind", "events", width = kind_width + 4);
+    for (component, kinds) in &by_component {
+        let total: u64 = kinds.values().sum();
+        println!("{component:<width$}  {total:>9}", width = kind_width + 4);
+        for (kind, count) in kinds {
+            println!("    {kind:<kind_width$}  {count:>9}");
+        }
+    }
+
+    if spans.is_empty() {
+        println!("\nno closed spans in this trace");
+        return;
+    }
+    spans.sort_by(|a, b| {
+        b.elapsed_us.cmp(&a.elapsed_us).then(a.at_us.cmp(&b.at_us)).then(a.span.cmp(&b.span))
+    });
+    println!("\ntop {} slowest spans (of {})", top.min(spans.len()), spans.len());
+    println!("  {:>12}  {:>12}  {:>6}  span", "elapsed_us", "end_at_us", "id");
+    for row in spans.iter().take(top) {
+        println!("  {:>12}  {:>12}  {:>6}  {}", row.elapsed_us, row.at_us, row.span, row.label);
+    }
+}

@@ -16,7 +16,7 @@ struct RegimeSetup {
 }
 
 /// Runs E1.
-pub fn run(quick: bool, seed: u64) -> Table {
+pub fn run(quick: bool, seed: u64, _rec: Option<&mut vc_obs::Recorder>) -> Table {
     let vehicles = if quick { 30 } else { 60 };
     let churn_ticks = if quick { 60 } else { 240 };
     let regimes = [

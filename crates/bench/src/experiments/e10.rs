@@ -7,8 +7,34 @@ use crate::table::{pct, Table};
 use vc_attacks::prelude::*;
 use vc_sim::prelude::*;
 
+/// Emits one `attacks`/`campaign` event summarizing an off/on pair, plus
+/// `attacks.injected` / `attacks.blocked` counters (injected = defended
+/// attempts, blocked = those the defense stack stopped).
+fn campaign(
+    rec: &mut Option<&mut vc_obs::Recorder>,
+    name: &'static str,
+    off: &AttackOutcome,
+    on: &AttackOutcome,
+) {
+    if let Some(r) = vc_obs::reborrow(rec) {
+        r.event(
+            SimTime::ZERO,
+            "attacks",
+            "campaign",
+            vec![
+                ("attack", name.into()),
+                ("undefended", off.rate().into()),
+                ("defended", on.rate().into()),
+                ("attempts", on.attempts.into()),
+            ],
+        );
+        r.hub_mut().counter_add("attacks.injected", on.attempts);
+        r.hub_mut().counter_add("attacks.blocked", on.attempts - on.successes);
+    }
+}
+
 /// Runs E10.
-pub fn run(quick: bool, seed: u64) -> Table {
+pub fn run(quick: bool, seed: u64, mut rec: Option<&mut vc_obs::Recorder>) -> Table {
     let trials = if quick { 50 } else { 200 };
     let mut rng = SimRng::seed_from(seed);
 
@@ -21,6 +47,7 @@ pub fn run(quick: bool, seed: u64) -> Table {
 
     let replay_off = replay_attack(Defense::Off, trials, &mut rng);
     let replay_on = replay_attack(Defense::On, trials, &mut rng);
+    campaign(&mut rec, "replay", &replay_off, &replay_on);
     table.row(vec![
         "replay".into(),
         pct(replay_off.rate()),
@@ -30,6 +57,7 @@ pub fn run(quick: bool, seed: u64) -> Table {
 
     let imp_off = impersonation_attack(Defense::Off, trials);
     let imp_on = impersonation_attack(Defense::On, trials);
+    campaign(&mut rec, "impersonation", &imp_off, &imp_on);
     table.row(vec![
         "impersonation".into(),
         pct(imp_off.rate()),
@@ -39,6 +67,7 @@ pub fn run(quick: bool, seed: u64) -> Table {
 
     let mitm_off = mitm_tamper_attack(Defense::Off, trials, &mut rng);
     let mitm_on = mitm_tamper_attack(Defense::On, trials, &mut rng);
+    campaign(&mut rec, "mitm-tamper", &mitm_off, &mitm_on);
     table.row(vec![
         "man-in-the-middle tamper".into(),
         pct(mitm_off.rate()),
@@ -48,6 +77,7 @@ pub fn run(quick: bool, seed: u64) -> Table {
 
     let eav_off = eavesdrop_attack(Defense::Off, trials, &mut rng);
     let eav_on = eavesdrop_attack(Defense::On, trials, &mut rng);
+    campaign(&mut rec, "eavesdrop", &eav_off, &eav_on);
     table.row(vec![
         "eavesdropping".into(),
         pct(eav_off.rate()),
@@ -57,6 +87,7 @@ pub fn run(quick: bool, seed: u64) -> Table {
 
     let sup_off = suppression_attack(Defense::Off, 0.2, trials * 10, &mut rng);
     let sup_on = suppression_attack(Defense::On, 0.2, trials * 10, &mut rng);
+    campaign(&mut rec, "suppression", &sup_off, &sup_on);
     table.row(vec![
         "message suppression (20% relays hostile)".into(),
         pct(sup_off.rate()),
@@ -66,6 +97,7 @@ pub fn run(quick: bool, seed: u64) -> Table {
 
     let delay_off = delay_attack(Defense::Off, 0.3, trials * 10, &mut rng);
     let delay_on = delay_attack(Defense::On, 0.3, trials * 10, &mut rng);
+    campaign(&mut rec, "delay", &delay_off, &delay_on);
     table.row(vec![
         "message delay (30% relays hostile, 500ms budget)".into(),
         pct(delay_off.rate()),
@@ -75,6 +107,7 @@ pub fn run(quick: bool, seed: u64) -> Table {
 
     let dos_off = dos_flood_attack(Defense::Off, trials, &mut rng);
     let dos_on = dos_flood_attack(Defense::On, trials, &mut rng);
+    campaign(&mut rec, "dos-flood", &dos_off, &dos_on);
     table.row(vec![
         "DoS flood (junk burns verifier CPU)".into(),
         pct(dos_off.rate()),
@@ -84,6 +117,7 @@ pub fn run(quick: bool, seed: u64) -> Table {
 
     let fd_off = false_data_attack(Defense::Off, 0.6, 10, trials, &mut rng);
     let fd_on = false_data_attack(Defense::On, 0.6, 10, trials, &mut rng);
+    campaign(&mut rec, "false-data", &fd_off, &fd_on);
     table.row(vec![
         "false data injection (60% liars)".into(),
         pct(fd_off.rate()),
@@ -93,6 +127,7 @@ pub fn run(quick: bool, seed: u64) -> Table {
 
     let syb_off = sybil_attack(Defense::Off, 12, 8, trials, &mut rng);
     let syb_on = sybil_attack(Defense::On, 12, 8, trials, &mut rng);
+    campaign(&mut rec, "sybil", &syb_off, &syb_on);
     table.row(vec![
         "sybil (12 fake ids vs 8 honest)".into(),
         pct(syb_off.rate()),

@@ -11,7 +11,7 @@ use std::time::Instant;
 use vc_crypto::schnorr::{batch_verify, Signature, SigningKey, VerifyingKey};
 
 /// Runs E11.
-pub fn run(quick: bool, _seed: u64) -> Table {
+pub fn run(quick: bool, _seed: u64, _rec: Option<&mut vc_obs::Recorder>) -> Table {
     let reps = if quick { 5 } else { 20 };
 
     let mut table = Table::new(

@@ -15,7 +15,7 @@ use vc_sim::rng::SimRng;
 use vc_sim::time::SimTime;
 
 /// Runs E12.
-pub fn run(quick: bool, seed: u64) -> Table {
+pub fn run(quick: bool, seed: u64, _rec: Option<&mut vc_obs::Recorder>) -> Table {
     let jobs = if quick { 100 } else { 400 };
     let pool = 30usize;
 

@@ -12,7 +12,7 @@ use vc_cloud::offload::{decide, expected_latency, OffloadContext, OffloadTarget,
 use vc_sim::prelude::*;
 
 /// Runs E13.
-pub fn run(quick: bool, seed: u64) -> Table {
+pub fn run(quick: bool, seed: u64, _rec: Option<&mut vc_obs::Recorder>) -> Table {
     let trials = if quick { 300 } else { 1500 };
 
     let mut table = Table::new(

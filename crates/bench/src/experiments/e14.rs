@@ -26,7 +26,7 @@ fn run_protocol<P: RoutingProtocol>(
 }
 
 /// Runs E14.
-pub fn run(quick: bool, seed: u64) -> Table {
+pub fn run(quick: bool, seed: u64, _rec: Option<&mut vc_obs::Recorder>) -> Table {
     let densities: &[usize] = if quick { &[40] } else { &[40, 80, 120] };
     let packets = if quick { 15 } else { 40 };
     let rounds = if quick { 150 } else { 300 };

@@ -12,7 +12,7 @@ use vc_net::world::WorldView;
 use vc_sim::prelude::*;
 
 /// Runs E15.
-pub fn run(quick: bool, seed: u64) -> Table {
+pub fn run(quick: bool, seed: u64, _rec: Option<&mut vc_obs::Recorder>) -> Table {
     let vehicles = if quick { 40 } else { 60 };
     let snapshots = if quick { 60 } else { 200 };
 

@@ -8,7 +8,7 @@ use vc_cloud::prelude::*;
 use vc_sim::prelude::*;
 
 /// Runs E2.
-pub fn run(quick: bool, seed: u64) -> Table {
+pub fn run(quick: bool, seed: u64, mut rec: Option<&mut vc_obs::Recorder>) -> Table {
     let vehicles = if quick { 30 } else { 60 };
     let tasks = if quick { 40 } else { 100 };
     // Heavy enough that a task spans tens of seconds on a typical host, so
@@ -45,7 +45,7 @@ pub fn run(quick: bool, seed: u64) -> Table {
         };
         let mut sim = CloudSim::new(scenario, kind, SchedulerConfig::default(), Kinematic);
         sim.submit_batch(tasks, work, None);
-        sim.run_ticks(ticks);
+        sim.run_ticks_obs(ticks, vc_obs::reborrow(&mut rec));
         let stats = sim.scheduler().stats();
         table.row(vec![
             kind.to_string(),

@@ -2,13 +2,24 @@
 //! propagation (paper §IV-A.2: "in the event of a disaster … a heavy
 //! reliance on infrastructures may greatly undermine the v-cloud
 //! availability"; §V-A emergency-mode management).
+//!
+//! With a recorder attached (`experiments --trace`), E3 doubles as the
+//! workspace's observability showcase: it emits `sim` (world ticks, radio),
+//! `net` (post-disaster re-clustering), `auth` (emergency re-join
+//! handshake spans, pseudonym switches), and `cloud` (scheduler lifecycle,
+//! membership, mode gossip) events. Every probed call delegates to its
+//! unprobed implementation, so the table is identical with or without
+//! tracing.
 
 use crate::table::{f1, pct, Table};
+use vc_auth::prelude::*;
 use vc_cloud::prelude::*;
+use vc_net::world::WorldView;
+use vc_obs::{as_probe, reborrow, Recorder};
 use vc_sim::prelude::*;
 
 /// Runs E3.
-pub fn run(quick: bool, seed: u64) -> Table {
+pub fn run(quick: bool, seed: u64, mut rec: Option<&mut Recorder>) -> Table {
     let vehicles = if quick { 30 } else { 60 };
     let tasks = if quick { 30 } else { 80 };
     let pre_ticks = if quick { 100 } else { 200 };
@@ -35,16 +46,24 @@ pub fn run(quick: bool, seed: u64) -> Table {
             let scenario = builder.urban_with_rsus();
             let mut sim = CloudSim::new(scenario, kind, SchedulerConfig::default(), Kinematic);
             sim.submit_batch(tasks / 2, 80.0, None);
-            sim.run_ticks(pre_ticks);
+            sim.run_ticks_obs(pre_ticks, reborrow(&mut rec));
             let pre = sim.scheduler().stats().completed;
 
             // Disaster strikes.
             let mut rng = SimRng::seed_from(seed ^ 0xD15A57E4);
             sim.scenario.rsus.fail_fraction(fail_fraction, &mut rng);
             sim.scenario.cellular = Cellular::unavailable();
+            if let Some(r) = reborrow(&mut rec) {
+                r.event(
+                    sim.now(),
+                    "cloud",
+                    "disaster",
+                    vec![("rsu_fail", fail_fraction.into()), ("arch", kind.to_string().into())],
+                );
+            }
 
             sim.submit_batch(tasks / 2, 80.0, None);
-            sim.run_ticks(post_ticks);
+            sim.run_ticks_obs(post_ticks, reborrow(&mut rec));
             let total = sim.scheduler().stats().completed;
             let post = total - pre;
             let members_post = sim.membership().members.len();
@@ -71,10 +90,19 @@ pub fn run(quick: bool, seed: u64) -> Table {
     let mut rounds = 0usize;
     let mut coverage = mode.coverage(OperatingMode::Emergency);
     while coverage < 0.95 && rounds < 400 {
-        scenario.tick();
+        let at = SimTime::ZERO + SimDuration::from_secs_f64(rounds as f64 * scenario.dt);
+        scenario.tick_probed(at, as_probe(&mut rec));
         let table_nb = scenario.neighbor_table();
         let positions = scenario.fleet.positions();
-        mode.gossip_round(&table_nb, &positions, &channel, &mut scenario.rng);
+        mode.gossip_round_obs(
+            &table_nb,
+            &positions,
+            &channel,
+            &mut scenario.rng,
+            OperatingMode::Emergency,
+            at,
+            reborrow(&mut rec),
+        );
         coverage = mode.coverage(OperatingMode::Emergency);
         rounds += 1;
     }
@@ -83,6 +111,88 @@ pub fn run(quick: bool, seed: u64) -> Table {
         pct(coverage),
         rounds,
         f1(rounds as f64 * scenario.dt),
+    ));
+
+    // How the surviving fleet self-organizes with every RSU dark: one
+    // clustering pass over the post-gossip world (§IV-A.2's dynamic
+    // architecture forming without infrastructure).
+    let gossip_end = SimTime::ZERO + SimDuration::from_secs_f64(rounds as f64 * scenario.dt);
+    let positions = scenario.fleet.positions();
+    let velocities: Vec<_> =
+        scenario.fleet.vehicles().iter().map(|v| v.kinematics.velocity).collect();
+    let online: Vec<bool> = scenario.fleet.vehicles().iter().map(|v| v.online).collect();
+    let neighbors = scenario.neighbor_table();
+    let world = WorldView {
+        positions: &positions,
+        velocities: &velocities,
+        online: &online,
+        neighbors: &neighbors,
+    };
+    let clustering = vc_net::cluster::form_clusters_obs(
+        &world,
+        &vc_net::cluster::ClusterConfig::multi_hop(),
+        gossip_end,
+        reborrow(&mut rec),
+    );
+    table.note(format!(
+        "post-disaster self-organization: {} clusters across {} vehicles, no infrastructure",
+        clustering.heads().count(),
+        vehicles,
+    ));
+
+    // Emergency re-join (§V-A): survivors re-authenticate into the ad-hoc
+    // cloud — pairwise handshakes with the responder vehicle plus a
+    // pseudonym switch on admission. Latency is modeled one-hop sim time,
+    // so the numbers (and any trace) are deterministic.
+    let mut ta = TrustedAuthority::new(&seed.to_be_bytes());
+    let mut registry = PseudonymRegistry::new();
+    let rejoiners = 8usize;
+    let wallets: Vec<PseudonymWallet> = (0..=rejoiners)
+        .map(|i| {
+            let identity = RealIdentity::for_vehicle(VehicleId(i as u32));
+            ta.register(identity.clone(), VehicleId(i as u32));
+            registry
+                .issue_wallet(
+                    &ta,
+                    &identity,
+                    8,
+                    SimTime::ZERO,
+                    SimTime::from_secs(100_000),
+                    &i.to_be_bytes(),
+                )
+                .expect("wallet issuance")
+        })
+        .collect();
+    let ta_key = ta.public_key();
+    let params = HandshakeObsParams {
+        ta_key: &ta_key,
+        crl: registry.crl(),
+        window: SimDuration::from_secs(5),
+        hop: SimDuration::from_millis(3),
+    };
+    let mut admitted = 0usize;
+    let mut joiners = wallets;
+    let broker = joiners.remove(0);
+    for (i, joiner) in joiners.iter_mut().enumerate() {
+        let start = gossip_end + SimDuration::from_millis(100 * i as u64);
+        if run_handshake_obs(
+            joiner,
+            &broker,
+            &params,
+            start,
+            seed.wrapping_add(i as u64),
+            reborrow(&mut rec),
+        )
+        .is_ok()
+        {
+            admitted += 1;
+            // Fresh pseudonym on admission: the pre-disaster identifier is
+            // assumed burned.
+            joiner.rotate_obs(start + SimDuration::from_millis(10), reborrow(&mut rec));
+        }
+    }
+    table.note(format!(
+        "emergency re-join: {admitted}/{rejoiners} authenticated handshakes (6 ms modeled RTT each) with fresh pseudonyms on admission",
     ));
     table.note("expected shape: infrastructure architecture degrades with RSU failures (members→0 at 100%); dynamic architecture is indifferent to them");
     table

@@ -19,7 +19,7 @@ fn bench<F: FnMut()>(iters: usize, mut f: F) -> f64 {
 }
 
 /// Runs E4.
-pub fn run(quick: bool, seed: u64) -> Table {
+pub fn run(quick: bool, seed: u64, _rec: Option<&mut vc_obs::Recorder>) -> Table {
     let iters = if quick { 20 } else { 100 };
     let window = SimDuration::from_secs(5);
     let now = SimTime::from_secs(10);

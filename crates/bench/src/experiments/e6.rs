@@ -26,7 +26,7 @@ fn run_config<E: StayEstimator>(
 }
 
 /// Runs E6.
-pub fn run(quick: bool, seed: u64) -> Table {
+pub fn run(quick: bool, seed: u64, _rec: Option<&mut vc_obs::Recorder>) -> Table {
     let vehicles = if quick { 30 } else { 50 };
     let tasks = if quick { 40 } else { 80 };
     let ticks = if quick { 300 } else { 800 };

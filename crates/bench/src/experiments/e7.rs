@@ -9,7 +9,7 @@ use vc_cloud::prelude::*;
 use vc_sim::prelude::*;
 
 /// Runs E7.
-pub fn run(quick: bool, seed: u64) -> Table {
+pub fn run(quick: bool, seed: u64, _rec: Option<&mut vc_obs::Recorder>) -> Table {
     let pool = if quick { 40 } else { 80 };
     let epochs = if quick { 200 } else { 1000 };
     let p_offline = 0.3;

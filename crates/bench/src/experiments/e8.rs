@@ -15,18 +15,19 @@ fn run_protocol<P: RoutingProtocol>(
     packets: usize,
     rounds: usize,
     protocol: P,
+    rec: Option<&mut vc_obs::Recorder>,
 ) -> RoutingStats {
     let mut builder = ScenarioBuilder::new();
     builder.seed(seed).vehicles(vehicles);
     let mut scenario = builder.urban_with_rsus();
     let mut sim = NetSim::new(&mut scenario, protocol);
     sim.send_random_pairs(packets, 256);
-    sim.run_rounds(rounds);
+    sim.run_rounds_obs(rounds, rec);
     sim.into_stats()
 }
 
 /// Runs E8.
-pub fn run(quick: bool, seed: u64) -> Table {
+pub fn run(quick: bool, seed: u64, mut rec: Option<&mut vc_obs::Recorder>) -> Table {
     let densities: &[usize] = if quick { &[30, 60] } else { &[12, 30, 60, 120] };
     let packets = if quick { 15 } else { 40 };
     let rounds = if quick { 120 } else { 240 };
@@ -40,10 +41,36 @@ pub fn run(quick: bool, seed: u64) -> Table {
 
     for &n in densities {
         let runs: Vec<(&str, RoutingStats)> = vec![
-            ("epidemic", run_protocol(seed, n, packets, rounds, Epidemic)),
-            ("greedy-geo", run_protocol(seed, n, packets, rounds, GreedyGeo)),
-            ("cluster", run_protocol(seed, n, packets, rounds, ClusterRouting::new())),
-            ("mozo", run_protocol(seed, n, packets, rounds, MozoRouting::new())),
+            (
+                "epidemic",
+                run_protocol(seed, n, packets, rounds, Epidemic, vc_obs::reborrow(&mut rec)),
+            ),
+            (
+                "greedy-geo",
+                run_protocol(seed, n, packets, rounds, GreedyGeo, vc_obs::reborrow(&mut rec)),
+            ),
+            (
+                "cluster",
+                run_protocol(
+                    seed,
+                    n,
+                    packets,
+                    rounds,
+                    ClusterRouting::new(),
+                    vc_obs::reborrow(&mut rec),
+                ),
+            ),
+            (
+                "mozo",
+                run_protocol(
+                    seed,
+                    n,
+                    packets,
+                    rounds,
+                    MozoRouting::new(),
+                    vc_obs::reborrow(&mut rec),
+                ),
+            ),
         ];
         for (name, stats) in runs {
             table.row(vec![
@@ -76,6 +103,7 @@ pub fn run(quick: bool, seed: u64) -> Table {
             packets,
             rounds,
             ClusterRouting::with_config(cfg.clone()),
+            vc_obs::reborrow(&mut rec),
         );
         // Head churn under the same weighting, measured over mobility.
         let churn = {

@@ -60,7 +60,7 @@ fn make_reports(
 }
 
 /// Runs E9.
-pub fn run(quick: bool, seed: u64) -> Table {
+pub fn run(quick: bool, seed: u64, _rec: Option<&mut vc_obs::Recorder>) -> Table {
     let trials = if quick { 100 } else { 400 };
     let honest = 10;
 

@@ -17,33 +17,80 @@ pub mod e8;
 pub mod e9;
 
 use crate::table::Table;
+use vc_obs::Recorder;
 
-/// An experiment's id and runner.
+/// An experiment's id, one-line description, and runner.
 pub struct Experiment {
-    /// "e1" … "e10".
+    /// "e1" … "e15".
     pub id: &'static str,
-    /// Runner: `(quick, seed) -> table`.
-    pub run: fn(bool, u64) -> Table,
+    /// One-line description (shown by `experiments --list`).
+    pub desc: &'static str,
+    /// Runner: `(quick, seed, recorder) -> table`. Passing `None` for the
+    /// recorder must yield the exact same table as passing `Some` — the
+    /// observability hooks delegate to the unprobed code paths.
+    pub run: fn(bool, u64, Option<&mut Recorder>) -> Table,
 }
 
 /// The full experiment registry, in order.
 pub fn registry() -> Vec<Experiment> {
     vec![
-        Experiment { id: "e1", run: e1::run },
-        Experiment { id: "e2", run: e2::run },
-        Experiment { id: "e3", run: e3::run },
-        Experiment { id: "e4", run: e4::run },
-        Experiment { id: "e5", run: e5::run },
-        Experiment { id: "e6", run: e6::run },
-        Experiment { id: "e7", run: e7::run },
-        Experiment { id: "e8", run: e8::run },
-        Experiment { id: "e9", run: e9::run },
-        Experiment { id: "e10", run: e10::run },
-        Experiment { id: "e11", run: e11::run },
-        Experiment { id: "e12", run: e12::run },
-        Experiment { id: "e13", run: e13::run },
-        Experiment { id: "e14", run: e14::run },
-        Experiment { id: "e15", run: e15::run },
+        Experiment {
+            id: "e1",
+            desc: "measured comparison of cloud regimes (Fig. 2 matrix)",
+            run: e1::run,
+        },
+        Experiment { id: "e2", desc: "task completion by architecture (Fig. 4)", run: e2::run },
+        Experiment {
+            id: "e3",
+            desc: "disaster: RSU failure and emergency response (§IV-A.2/§V-A)",
+            run: e3::run,
+        },
+        Experiment {
+            id: "e4",
+            desc: "authentication protocol comparison (Fig. 5/§IV-B)",
+            run: e4::run,
+        },
+        Experiment {
+            id: "e5",
+            desc: "authorization latency vs contact windows (§III-C)",
+            run: e5::run,
+        },
+        Experiment {
+            id: "e6",
+            desc: "stay estimation and handover ablation (§III-A)",
+            run: e6::run,
+        },
+        Experiment { id: "e7", desc: "replica count vs file availability (§III-A)", run: e7::run },
+        Experiment { id: "e8", desc: "routing protocols across density (§IV-A.1)", run: e8::run },
+        Experiment {
+            id: "e9",
+            desc: "trust validators vs attacker fraction (§III-D/§V-D)",
+            run: e9::run,
+        },
+        Experiment {
+            id: "e10", desc: "attack success with defenses off/on (§III)", run: e10::run
+        },
+        Experiment {
+            id: "e11",
+            desc: "batch signature verification scaling (§IV-D)",
+            run: e11::run,
+        },
+        Experiment {
+            id: "e12",
+            desc: "verifiable computing via redundant execution (§IV-D)",
+            run: e12::run,
+        },
+        Experiment {
+            id: "e13",
+            desc: "offload latency: local vs v-cloud vs cellular (§I)",
+            run: e13::run,
+        },
+        Experiment {
+            id: "e14",
+            desc: "routing under urban-canyon obstruction (§IV-A.1)",
+            run: e14::run,
+        },
+        Experiment { id: "e15", desc: "group maintenance vs re-election (§V-A)", run: e15::run },
     ]
 }
 
@@ -61,5 +108,8 @@ mod tests {
                 "e14", "e15"
             ]
         );
+        for exp in registry() {
+            assert!(!exp.desc.is_empty(), "{} lacks a description", exp.id);
+        }
     }
 }

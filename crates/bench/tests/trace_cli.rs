@@ -1,0 +1,64 @@
+//! End-to-end CLI checks: `experiments --trace` writes a deterministic
+//! multi-component JSONL stream, `--list` enumerates the registry, and
+//! `vcstat` renders a report from the trace.
+
+use std::process::Command;
+
+fn run_trace(path: &std::path::Path) -> Vec<u8> {
+    let out = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(["--quick", "--seed", "7", "--trace"])
+        .arg(path)
+        .arg("e3")
+        .output()
+        .expect("experiments runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    std::fs::read(path).expect("trace written")
+}
+
+#[test]
+fn trace_runs_are_byte_identical_and_multi_component() {
+    let dir = std::env::temp_dir().join(format!("vc_trace_cli_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let a = run_trace(&dir.join("a.jsonl"));
+    let b = run_trace(&dir.join("b.jsonl"));
+    assert!(!a.is_empty(), "trace must be non-empty");
+    assert_eq!(a, b, "same seed + flags must give a byte-identical trace");
+
+    let text = String::from_utf8(a).expect("trace is UTF-8");
+    for component in ["sim", "net", "auth", "cloud"] {
+        let needle = format!("\"component\":\"{component}\"");
+        assert!(text.contains(&needle), "trace lacks {component} events");
+    }
+    // Every line round-trips through the workspace JSON parser.
+    for line in text.lines() {
+        vc_testkit::json::Json::parse(line).expect("valid JSONL line");
+    }
+
+    let stat = Command::new(env!("CARGO_BIN_EXE_vcstat"))
+        .arg(dir.join("a.jsonl"))
+        .output()
+        .expect("vcstat runs");
+    assert!(stat.status.success());
+    let report = String::from_utf8_lossy(&stat.stdout).into_owned();
+    assert!(report.contains("4 components"), "report: {report}");
+    assert!(report.contains("slowest spans"), "report: {report}");
+    assert!(report.contains("auth.handshake"), "report: {report}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn list_flag_prints_every_experiment_with_a_description() {
+    let out = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .arg("--list")
+        .output()
+        .expect("experiments runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 15);
+    for (i, line) in lines.iter().enumerate() {
+        let id = format!("e{}", i + 1);
+        assert!(line.starts_with(&id), "line {i} should start with {id}: {line}");
+        assert!(line.len() > id.len() + 4, "missing description: {line}");
+    }
+}

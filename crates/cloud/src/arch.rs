@@ -218,17 +218,47 @@ impl<E: StayEstimator> CloudSim<E> {
 
     /// Advances the world and the scheduler one step.
     pub fn tick(&mut self) {
-        self.scenario.tick();
+        self.tick_obs(None);
+    }
+
+    /// Advances like [`CloudSim::tick`], routing world ticks through the
+    /// recorder's probe and emitting a `cloud`/`membership` event with the
+    /// member count and broker presence. All probed sub-paths delegate to
+    /// their unprobed implementations, so the run is identical to [`tick`]
+    /// with the same seed.
+    ///
+    /// [`tick`]: CloudSim::tick
+    pub fn tick_obs(&mut self, mut rec: Option<&mut vc_obs::Recorder>) {
+        self.scenario.tick_probed(self.now, vc_obs::as_probe(&mut rec));
         self.now += SimDuration::from_secs_f64(self.scenario.dt);
         let membership = membership(self.kind, &self.scenario);
         let hosts = hosts_of(&self.scenario, &membership, &self.estimator);
-        self.scheduler.tick(self.now, self.scenario.dt, &hosts);
+        if let Some(r) = vc_obs::reborrow(&mut rec) {
+            r.event(
+                self.now,
+                "cloud",
+                "membership",
+                vec![
+                    ("members", membership.members.len().into()),
+                    ("broker", membership.broker.is_some().into()),
+                ],
+            );
+            r.hub_mut().gauge_set("cloud.membership.size", membership.members.len() as f64);
+        }
+        self.scheduler.tick_obs(self.now, self.scenario.dt, &hosts, rec);
     }
 
     /// Runs `n` ticks.
     pub fn run_ticks(&mut self, n: usize) {
         for _ in 0..n {
             self.tick();
+        }
+    }
+
+    /// Runs `n` instrumented ticks (see [`CloudSim::tick_obs`]).
+    pub fn run_ticks_obs(&mut self, n: usize, mut rec: Option<&mut vc_obs::Recorder>) {
+        for _ in 0..n {
+            self.tick_obs(vc_obs::reborrow(&mut rec));
         }
     }
 
@@ -352,6 +382,34 @@ mod tests {
             sim.scheduler().stats().completed
         };
         assert_eq!(run(11), run(11));
+    }
+
+    #[test]
+    fn instrumented_cloud_run_matches_plain() {
+        let mk = || {
+            let scenario = builder(5, 40).urban_with_rsus();
+            let mut sim = CloudSim::new(
+                scenario,
+                ArchitectureKind::Dynamic,
+                SchedulerConfig::default(),
+                Kinematic,
+            );
+            sim.submit_batch(10, 30.0, None);
+            sim
+        };
+        let mut plain = mk();
+        plain.run_ticks(120);
+        let mut probed = mk();
+        let mut rec = vc_obs::Recorder::new();
+        probed.run_ticks_obs(120, Some(&mut rec));
+        assert_eq!(
+            probed.scheduler().stats().completed,
+            plain.scheduler().stats().completed,
+            "tracing must not perturb the run"
+        );
+        assert_eq!(rec.hub().counter("cloud.membership"), 120);
+        assert_eq!(rec.hub().counter("sim.tick"), 120);
+        assert!(rec.hub().counter("cloud.sched.place") > 0);
     }
 
     #[test]

@@ -156,6 +156,54 @@ impl Scheduler {
         self.tasks.values().filter(|t| t.is_live()).count()
     }
 
+    /// Advances like [`Scheduler::tick`] and emits `cloud` scheduler events
+    /// to the recorder: `sched.place` (new or moved assignments),
+    /// `sched.complete`, `sched.handover`, `sched.expire`, and
+    /// `sched.requeue` (progress lost to a drop), plus `cloud.sched.live`
+    /// and `cloud.sched.running` gauges. The scheduler is RNG-free, so the
+    /// probed path is behaviourally identical to the plain one.
+    pub fn tick_obs(
+        &mut self,
+        now: SimTime,
+        dt: f64,
+        hosts: &[HostInfo],
+        rec: Option<&mut vc_obs::Recorder>,
+    ) {
+        let Some(rec) = rec else {
+            self.tick(now, dt, hosts);
+            return;
+        };
+        let assignments_before = self.assignments.clone();
+        let before = self.stats.clone();
+        self.tick(now, dt, hosts);
+        let placed = self
+            .assignments
+            .iter()
+            .filter(|(host, task)| assignments_before.get(host) != Some(task))
+            .count();
+        if placed > 0 {
+            rec.event(now, "cloud", "sched.place", vec![("tasks", placed.into())]);
+        }
+        let completed = self.stats.completed - before.completed;
+        if completed > 0 {
+            rec.event(now, "cloud", "sched.complete", vec![("tasks", completed.into())]);
+        }
+        let handovers = self.stats.handovers - before.handovers;
+        if handovers > 0 {
+            rec.event(now, "cloud", "sched.handover", vec![("tasks", handovers.into())]);
+        }
+        let expired = self.stats.expired - before.expired;
+        if expired > 0 {
+            rec.event(now, "cloud", "sched.expire", vec![("tasks", expired.into())]);
+        }
+        let recomputed = self.stats.recomputed_gflop - before.recomputed_gflop;
+        if recomputed > 0.0 {
+            rec.event(now, "cloud", "sched.requeue", vec![("lost_gflop", recomputed.into())]);
+        }
+        rec.hub_mut().gauge_set("cloud.sched.live", self.live_tasks() as f64);
+        rec.hub_mut().gauge_set("cloud.sched.running", self.assignments.len() as f64);
+    }
+
     /// Advances the scheduler by `dt` seconds given this tick's host set.
     /// Hosts absent from `hosts` are treated as departed.
     pub fn tick(&mut self, now: SimTime, dt: f64, hosts: &[HostInfo]) {
@@ -502,6 +550,38 @@ mod tests {
         s.tick(SimTime::from_secs(1), 1.0, &[host(0, 10.0, 10_000.0)]);
         let running = s.tasks().filter(|t| matches!(t.status, TaskStatus::Running { .. })).count();
         assert_eq!(running, 1, "a host runs one task at a time");
+    }
+
+    #[test]
+    fn tick_obs_matches_plain_and_emits_lifecycle_events() {
+        let mk = || {
+            let mut s = Scheduler::new(SchedulerConfig::default());
+            s.submit(spec(1, 50.0), SimTime::ZERO);
+            s
+        };
+        let hosts = [host(0, 10.0, 1000.0)];
+        let mut plain = mk();
+        run(&mut plain, &hosts, 10, 1.0);
+
+        let mut probed = mk();
+        let mut rec = vc_obs::Recorder::new();
+        let mut now = SimTime::ZERO;
+        for _ in 0..10 {
+            now += vc_sim::time::SimDuration::from_secs(1);
+            probed.tick_obs(now, 1.0, &hosts, Some(&mut rec));
+        }
+        assert_eq!(probed.stats().completed, plain.stats().completed);
+        assert_eq!(rec.hub().counter("cloud.sched.place"), 1);
+        assert_eq!(rec.hub().counter("cloud.sched.complete"), 1);
+        assert_eq!(rec.hub().gauge("cloud.sched.live"), Some(0.0));
+        // `None` recorder delegates straight to `tick`.
+        let mut silent = mk();
+        let mut now = SimTime::ZERO;
+        for _ in 0..10 {
+            now += vc_sim::time::SimDuration::from_secs(1);
+            silent.tick_obs(now, 1.0, &hosts, None);
+        }
+        assert_eq!(silent.stats().completed, plain.stats().completed);
     }
 
     #[test]

@@ -16,7 +16,9 @@
 
 use crate::world::WorldView;
 use std::collections::{BTreeMap, VecDeque};
+use vc_obs::Recorder;
 use vc_sim::node::VehicleId;
+use vc_sim::time::SimTime;
 
 /// Parameters for cluster formation.
 #[derive(Debug, Clone)]
@@ -182,6 +184,30 @@ pub fn form_clusters(world: &WorldView<'_>, cfg: &ClusterConfig) -> Clustering {
     Clustering { head_of, members }
 }
 
+/// [`form_clusters`] with instrumentation: emits one `net`/`cluster.elect`
+/// event at sim-time `at` carrying the cluster count, mean size, and how
+/// many heads were elected. The clustering itself is identical.
+pub fn form_clusters_obs(
+    world: &WorldView<'_>,
+    cfg: &ClusterConfig,
+    at: SimTime,
+    rec: Option<&mut Recorder>,
+) -> Clustering {
+    let clustering = form_clusters(world, cfg);
+    if let Some(rec) = rec {
+        rec.event(
+            at,
+            "net",
+            "cluster.elect",
+            vec![
+                ("clusters", clustering.cluster_count().into()),
+                ("mean_size", clustering.mean_cluster_size().into()),
+            ],
+        );
+    }
+    clustering
+}
+
 /// Incremental cluster maintenance (paper §V-A: "how to handle the
 /// splitting, merging, re-allocation of the groups").
 ///
@@ -287,6 +313,31 @@ pub fn maintain_clusters(
         m.dedup();
     }
     Clustering { head_of, members }
+}
+
+/// [`maintain_clusters`] with instrumentation: emits one
+/// `net`/`cluster.maintain` event at sim-time `at` carrying the resulting
+/// cluster count and the head-churn fraction versus `previous`. The
+/// maintenance itself is identical.
+pub fn maintain_clusters_obs(
+    previous: &Clustering,
+    world: &WorldView<'_>,
+    cfg: &ClusterConfig,
+    retention_quorum: f64,
+    at: SimTime,
+    rec: Option<&mut Recorder>,
+) -> Clustering {
+    let next = maintain_clusters(previous, world, cfg, retention_quorum);
+    if let Some(rec) = rec {
+        let churn = head_churn(previous, &next, world.len());
+        rec.event(
+            at,
+            "net",
+            "cluster.maintain",
+            vec![("clusters", next.cluster_count().into()), ("head_churn", churn.into())],
+        );
+    }
+    next
 }
 
 /// Is `b` within `cfg.max_hops` of `a` over eligible links?
@@ -570,6 +621,36 @@ mod tests {
             "maintenance churn {churn_maintained} must not exceed re-election churn {churn_reelected}"
         );
         assert_eq!(churn_maintained, 0.0, "no partition ever happens here");
+    }
+
+    #[test]
+    fn obs_variants_cluster_identically_and_emit() {
+        let positions: Vec<Point> =
+            (0..12).map(|i| Point::new((i * 41 % 300) as f64, (i * 59 % 300) as f64)).collect();
+        let f = Fixture::new(positions, still(12), 150.0);
+        let cfg = ClusterConfig::multi_hop();
+        let mut rec = Recorder::new();
+        let plain = form_clusters(&f.world(), &cfg);
+        let probed = form_clusters_obs(&f.world(), &cfg, SimTime::from_secs(1), Some(&mut rec));
+        for i in 0..12 {
+            assert_eq!(plain.head_of(VehicleId(i)), probed.head_of(VehicleId(i)));
+        }
+        let maintained = maintain_clusters_obs(
+            &probed,
+            &f.world(),
+            &cfg,
+            0.5,
+            SimTime::from_secs(2),
+            Some(&mut rec),
+        );
+        assert_eq!(maintained.cluster_count(), plain.cluster_count());
+        assert_eq!(rec.hub().counter("net.cluster.elect"), 1);
+        assert_eq!(rec.hub().counter("net.cluster.maintain"), 1);
+        let elect = rec.events().next().unwrap();
+        assert!(elect.fields.iter().any(|(k, _)| *k == "clusters"));
+        // Passing None changes nothing and emits nothing.
+        let silent = form_clusters_obs(&f.world(), &cfg, SimTime::ZERO, None);
+        assert_eq!(silent.cluster_count(), plain.cluster_count());
     }
 
     #[test]

@@ -9,6 +9,7 @@ use crate::message::{Packet, PacketId, RoutingStats};
 use crate::routing::RoutingProtocol;
 use crate::world::WorldView;
 use std::collections::HashSet;
+use vc_obs::{as_probe, reborrow, Recorder};
 use vc_sim::node::VehicleId;
 use vc_sim::scenario::Scenario;
 use vc_sim::time::SimTime;
@@ -90,11 +91,23 @@ impl<'a, P: RoutingProtocol> NetSim<'a, P> {
     /// scenario's `dt` and gives every live copy one forwarding chance).
     pub fn run_rounds(&mut self, rounds: usize) {
         for _ in 0..rounds {
-            self.round();
+            self.round(None);
         }
     }
 
-    fn round(&mut self) {
+    /// [`NetSim::run_rounds`] with instrumentation: each round emits `sim`
+    /// radio tx/rx/drop events for every transmission attempt plus `net`
+    /// events `routing.forward` (relay accepted a copy) and
+    /// `routing.deliver` (destination reached, with hop count and
+    /// end-to-end latency). The simulation — including the RNG stream — is
+    /// identical to the unprobed path.
+    pub fn run_rounds_obs(&mut self, rounds: usize, mut rec: Option<&mut Recorder>) {
+        for _ in 0..rounds {
+            self.round(reborrow(&mut rec));
+        }
+    }
+
+    fn round(&mut self, mut rec: Option<&mut Recorder>) {
         self.scenario.tick();
         self.now += vc_sim::time::SimDuration::from_secs_f64(self.scenario.dt);
         let positions = self.scenario.fleet.positions();
@@ -127,11 +140,13 @@ impl<'a, P: RoutingProtocol> NetSim<'a, P> {
                 self.stats.transmissions += 1;
                 let contenders = neighbors.degree(copy.holder);
                 let size = state.packet.size_bytes;
-                if let Some(lat) = self.scenario.try_deliver_between(
+                if let Some(lat) = self.scenario.try_deliver_between_probed(
+                    self.now,
                     world.pos(copy.holder),
                     world.pos(dst),
                     contenders,
                     size,
+                    as_probe(&mut rec),
                 ) {
                     let state = &mut self.packets[copy.packet_idx];
                     state.delivered = true;
@@ -141,6 +156,18 @@ impl<'a, P: RoutingProtocol> NetSim<'a, P> {
                     self.stats.delivered += 1;
                     self.stats.latencies_s.push(e2e);
                     self.stats.hops.push(copy.hops + 1);
+                    if let Some(rec) = reborrow(&mut rec) {
+                        rec.event(
+                            self.now,
+                            "net",
+                            "routing.deliver",
+                            vec![
+                                ("packet", state.packet.id.0.into()),
+                                ("hops", (copy.hops + 1).into()),
+                                ("e2e_s", e2e.into()),
+                            ],
+                        );
+                    }
                     continue;
                 }
                 // Lost transmission: retry next round.
@@ -164,11 +191,13 @@ impl<'a, P: RoutingProtocol> NetSim<'a, P> {
                 debug_assert!(target != copy.holder);
                 self.stats.transmissions += 1;
                 let contenders = neighbors.degree(copy.holder);
-                if let Some(lat) = self.scenario.try_deliver_between(
+                if let Some(lat) = self.scenario.try_deliver_between_probed(
+                    self.now,
                     world.pos(copy.holder),
                     world.pos(target),
                     contenders,
                     packet.size_bytes,
+                    as_probe(&mut rec),
                 ) {
                     new_copies.push(Copy {
                         packet_idx: copy.packet_idx,
@@ -178,6 +207,18 @@ impl<'a, P: RoutingProtocol> NetSim<'a, P> {
                     });
                     self.packets[copy.packet_idx].carried.insert(target);
                     forwarded = true;
+                    if let Some(rec) = reborrow(&mut rec) {
+                        rec.event(
+                            self.now,
+                            "net",
+                            "routing.forward",
+                            vec![
+                                ("packet", packet.id.0.into()),
+                                ("from", copy.holder.0.into()),
+                                ("to", target.0.into()),
+                            ],
+                        );
+                    }
                 }
             }
             // Store-carry-forward: the holder keeps its copy unless the
@@ -305,6 +346,34 @@ mod tests {
         sim.send(VehicleId(0), VehicleId(1), 128);
         sim.run_rounds(3);
         assert_eq!(sim.stats().sent, 1);
+    }
+
+    #[test]
+    fn instrumented_run_matches_plain_and_emits_events() {
+        let run_plain = || {
+            let mut scenario = dense_urban(8, 40);
+            let mut sim = NetSim::new(&mut scenario, Epidemic);
+            sim.send_random_pairs(10, 128);
+            sim.run_rounds(40);
+            let s = sim.into_stats();
+            (s.sent, s.delivered, s.transmissions)
+        };
+        let mut rec = Recorder::new();
+        let run_probed = {
+            let mut scenario = dense_urban(8, 40);
+            let mut sim = NetSim::new(&mut scenario, Epidemic);
+            sim.send_random_pairs(10, 128);
+            sim.run_rounds_obs(40, Some(&mut rec));
+            let s = sim.into_stats();
+            (s.sent, s.delivered, s.transmissions)
+        };
+        assert_eq!(run_plain(), run_probed, "tracing must not perturb the run");
+        // Radio events cover every transmission; routing events cover
+        // deliveries and forwards.
+        let (_, delivered, transmissions) = run_probed;
+        assert_eq!(rec.hub().counter("sim.radio.tx"), transmissions);
+        assert_eq!(rec.hub().counter("net.routing.deliver"), delivered);
+        assert!(rec.hub().counter("net.routing.forward") > 0);
     }
 
     #[test]

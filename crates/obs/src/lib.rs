@@ -1,0 +1,66 @@
+//! # vc-obs — structured tracing and metrics for the vcloud workspace
+//!
+//! The paper's central claim is that vehicular clouds need *real-time
+//! trustworthiness assessment* and auditable security decisions; this crate
+//! is the measurement substrate that makes those assessments possible. It
+//! provides two cooperating facilities:
+//!
+//! * [`Recorder`] — a zero-dependency structured event log. Instrumented
+//!   code emits typed [`Event`]s (`at` sim-time, `component`, `kind`,
+//!   fields) and sim-time *spans* (begin/end pairs with elapsed time). The
+//!   recorder can run unbounded (short experiments) or as a bounded ring
+//!   buffer (long runs), and exports deterministic JSONL built on
+//!   `vc-testkit`'s insertion-ordered JSON writer.
+//! * [`MetricsHub`] — a registry of counters, gauges, and fixed-bucket
+//!   log-scale [`Histogram`]s under hierarchical `component.metric` names,
+//!   with a snapshot-diff API for measuring deltas over a phase of a run.
+//!
+//! Instrumentation hooks throughout the workspace take
+//! `Option<&mut Recorder>`: passing `None` reduces every hook to a branch,
+//! so uninstrumented runs pay near zero. Code in `vc-sim` (which cannot
+//! depend on this crate) emits through the [`vc_sim::probe::Probe`] trait,
+//! which [`Recorder`] implements.
+//!
+//! ```
+//! use vc_obs::Recorder;
+//! use vc_sim::time::SimTime;
+//!
+//! let mut rec = Recorder::new();
+//! let span = rec.span_begin(SimTime::ZERO, "auth", "handshake");
+//! rec.event(SimTime::from_millis(2), "auth", "hello", vec![("bytes", 96u64.into())]);
+//! rec.span_end(SimTime::from_millis(5), span);
+//! let mut out = Vec::new();
+//! rec.write_jsonl(&mut out).unwrap();
+//! assert_eq!(out.split(|&b| b == b'\n').filter(|l| !l.is_empty()).count(), 3);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod metrics;
+pub mod record;
+
+pub use metrics::{Histogram, MetricsHub, Snapshot, SnapshotDiff};
+pub use record::{Event, Recorder, SpanId, SpanPhase};
+pub use vc_sim::probe::{Probe, Value};
+
+/// Reborrows an optional recorder so it can be passed down a call chain
+/// without consuming the caller's `Option<&mut Recorder>`.
+///
+/// ```
+/// use vc_obs::{reborrow, Recorder};
+/// fn inner(rec: Option<&mut Recorder>) {}
+/// fn outer(mut rec: Option<&mut Recorder>) {
+///     inner(reborrow(&mut rec));
+///     inner(rec); // still usable
+/// }
+/// ```
+pub fn reborrow<'a>(rec: &'a mut Option<&mut Recorder>) -> Option<&'a mut Recorder> {
+    rec.as_mut().map(|r| &mut **r)
+}
+
+/// Converts an optional recorder into the `Option<&mut dyn Probe>` that
+/// `vc-sim`'s probed code paths accept.
+pub fn as_probe<'a>(rec: &'a mut Option<&mut Recorder>) -> Option<&'a mut dyn Probe> {
+    rec.as_mut().map(|r| &mut **r as &mut dyn Probe)
+}

@@ -1,0 +1,364 @@
+//! The structured event recorder: typed events, sim-time spans, ring-buffer
+//! mode, and deterministic JSONL export.
+//!
+//! Every event carries the *simulated* clock, never the wall clock, so a
+//! trace written from a seeded run is byte-for-byte reproducible — the CI
+//! determinism gate diffs two same-seed traces directly.
+
+use std::collections::VecDeque;
+use std::io::{self, Write};
+
+use vc_sim::probe::{Probe, Value};
+use vc_sim::time::{SimDuration, SimTime};
+use vc_testkit::json::Json;
+
+use crate::metrics::MetricsHub;
+
+/// Identifies one span within a [`Recorder`]; returned by
+/// [`Recorder::span_begin`] and consumed by [`Recorder::span_end`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanId(u64);
+
+impl SpanId {
+    /// The raw numeric id (stable within one recorder's lifetime).
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+/// Whether a span-linked event marks the start or the finish of the span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanPhase {
+    /// The span just opened.
+    Begin,
+    /// The span just closed; the event carries the elapsed sim-time.
+    End,
+}
+
+/// One structured instrumentation record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Simulated time the event occurred at.
+    pub at: SimTime,
+    /// Emitting subsystem (`"sim"`, `"net"`, `"auth"`, `"cloud"`, ...).
+    pub component: &'static str,
+    /// Event name within the component (`"radio.rx"`, `"handshake"`, ...).
+    pub kind: &'static str,
+    /// Span linkage, when this event opens or closes a span.
+    pub span: Option<(SpanId, SpanPhase)>,
+    /// Elapsed sim-time, present on span-end events.
+    pub elapsed: Option<SimDuration>,
+    /// Short list of typed key/value details.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl Event {
+    /// Renders this event as one compact, insertion-ordered JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut pairs: Vec<(String, Json)> = vec![
+            ("at_us".into(), Json::from(self.at.as_micros())),
+            ("component".into(), Json::from(self.component)),
+            ("kind".into(), Json::from(self.kind)),
+        ];
+        if let Some((id, phase)) = self.span {
+            pairs.push(("span".into(), Json::from(id.as_u64())));
+            let phase = match phase {
+                SpanPhase::Begin => "begin",
+                SpanPhase::End => "end",
+            };
+            pairs.push(("phase".into(), Json::from(phase)));
+        }
+        if let Some(elapsed) = self.elapsed {
+            pairs.push(("elapsed_us".into(), Json::from(elapsed.as_micros())));
+        }
+        if !self.fields.is_empty() {
+            let fields =
+                self.fields.iter().map(|(k, v)| ((*k).to_owned(), value_to_json(v))).collect();
+            pairs.push(("fields".into(), Json::Obj(fields)));
+        }
+        Json::Obj(pairs)
+    }
+}
+
+fn value_to_json(v: &Value) -> Json {
+    match v {
+        Value::U64(n) => Json::from(*n),
+        Value::I64(n) => Json::from(*n),
+        Value::F64(n) => Json::from(*n),
+        Value::Bool(b) => Json::from(*b),
+        Value::Str(s) => Json::from(s.as_str()),
+    }
+}
+
+struct OpenSpan {
+    id: SpanId,
+    component: &'static str,
+    kind: &'static str,
+    begin: SimTime,
+}
+
+/// A structured event log with sim-time spans and an embedded
+/// [`MetricsHub`].
+///
+/// Two storage modes: [`Recorder::new`] keeps every event (short
+/// experiments), [`Recorder::ring`] keeps only the most recent `capacity`
+/// events and counts the rest as [`Recorder::dropped`] (long runs). Either
+/// way the embedded hub keeps aggregate counters/histograms over *all*
+/// events, so metrics stay exact even when the ring has wrapped.
+pub struct Recorder {
+    events: VecDeque<Event>,
+    cap: Option<usize>,
+    dropped: u64,
+    open: Vec<OpenSpan>,
+    next_span: u64,
+    hub: MetricsHub,
+}
+
+impl Recorder {
+    /// An unbounded recorder that keeps every event.
+    pub fn new() -> Recorder {
+        Recorder {
+            events: VecDeque::new(),
+            cap: None,
+            dropped: 0,
+            open: Vec::new(),
+            next_span: 0,
+            hub: MetricsHub::new(),
+        }
+    }
+
+    /// A bounded recorder keeping only the most recent `capacity` events;
+    /// older events are dropped (and counted) once the ring is full.
+    pub fn ring(capacity: usize) -> Recorder {
+        Recorder {
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            cap: Some(capacity.max(1)),
+            ..Recorder::new()
+        }
+    }
+
+    /// Records a plain event and bumps the `component.kind` counter in the
+    /// embedded hub.
+    pub fn event(
+        &mut self,
+        at: SimTime,
+        component: &'static str,
+        kind: &'static str,
+        fields: Vec<(&'static str, Value)>,
+    ) {
+        self.push(Event { at, component, kind, span: None, elapsed: None, fields });
+    }
+
+    /// Opens a span: emits a `begin` event now and returns the id to close
+    /// it with. Spans may nest and may close out of order.
+    pub fn span_begin(
+        &mut self,
+        at: SimTime,
+        component: &'static str,
+        kind: &'static str,
+    ) -> SpanId {
+        let id = SpanId(self.next_span);
+        self.next_span += 1;
+        self.open.push(OpenSpan { id, component, kind, begin: at });
+        self.push(Event {
+            at,
+            component,
+            kind,
+            span: Some((id, SpanPhase::Begin)),
+            elapsed: None,
+            fields: Vec::new(),
+        });
+        id
+    }
+
+    /// Closes a span: emits an `end` event carrying the elapsed sim-time and
+    /// records the elapsed microseconds into the hub histogram
+    /// `component.kind.us`. Returns `None` (and records nothing) if the id
+    /// is unknown or already closed.
+    pub fn span_end(&mut self, at: SimTime, id: SpanId) -> Option<SimDuration> {
+        let idx = self.open.iter().rposition(|s| s.id == id)?;
+        let span = self.open.swap_remove(idx);
+        let elapsed = at.saturating_since(span.begin);
+        let name = format!("{}.{}.us", span.component, span.kind);
+        self.hub.observe(&name, elapsed.as_micros() as f64);
+        self.push(Event {
+            at,
+            component: span.component,
+            kind: span.kind,
+            span: Some((id, SpanPhase::End)),
+            elapsed: Some(elapsed),
+            fields: Vec::new(),
+        });
+        Some(elapsed)
+    }
+
+    fn push(&mut self, event: Event) {
+        self.hub.counter_add(&format!("{}.{}", event.component, event.kind), 1);
+        if let Some(cap) = self.cap {
+            if self.events.len() >= cap {
+                self.events.pop_front();
+                self.dropped += 1;
+            }
+        }
+        self.events.push_back(event);
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events discarded by ring-buffer mode (always 0 when unbounded).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of spans opened but not yet closed.
+    pub fn open_spans(&self) -> usize {
+        self.open.len()
+    }
+
+    /// The embedded metrics registry (read access).
+    pub fn hub(&self) -> &MetricsHub {
+        &self.hub
+    }
+
+    /// The embedded metrics registry (write access, for caller-owned
+    /// gauges and histograms alongside the automatic event counters).
+    pub fn hub_mut(&mut self) -> &mut MetricsHub {
+        &mut self.hub
+    }
+
+    /// Writes the retained events as JSON Lines: one compact object per
+    /// line, insertion-ordered keys, trailing newline per line. Output is
+    /// deterministic for a deterministic run.
+    pub fn write_jsonl<W: Write>(&self, out: &mut W) -> io::Result<()> {
+        for event in &self.events {
+            out.write_all(event.to_json().to_string_compact().as_bytes())?;
+            out.write_all(b"\n")?;
+        }
+        Ok(())
+    }
+}
+
+impl Default for Recorder {
+    fn default() -> Recorder {
+        Recorder::new()
+    }
+}
+
+impl Probe for Recorder {
+    fn emit(
+        &mut self,
+        at: SimTime,
+        component: &'static str,
+        kind: &'static str,
+        fields: &[(&'static str, Value)],
+    ) {
+        self.event(at, component, kind, fields.to_vec());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn events_record_in_order_with_counters() {
+        let mut rec = Recorder::new();
+        rec.event(t(1), "sim", "tick", vec![("n", 1u64.into())]);
+        rec.event(t(2), "sim", "tick", vec![("n", 2u64.into())]);
+        rec.event(t(2), "net", "forward", Vec::new());
+        assert_eq!(rec.len(), 3);
+        assert_eq!(rec.hub().counter("sim.tick"), 2);
+        assert_eq!(rec.hub().counter("net.forward"), 1);
+        assert_eq!(rec.hub().counter("absent"), 0);
+    }
+
+    #[test]
+    fn spans_nest_and_close_out_of_order() {
+        let mut rec = Recorder::new();
+        let outer = rec.span_begin(t(0), "auth", "handshake");
+        let inner = rec.span_begin(t(1), "auth", "verify");
+        assert_eq!(rec.open_spans(), 2);
+        // Close outer first: out-of-order closing must still resolve both.
+        assert_eq!(rec.span_end(t(4), outer), Some(SimDuration::from_millis(4)));
+        assert_eq!(rec.span_end(t(5), inner), Some(SimDuration::from_millis(4)));
+        assert_eq!(rec.open_spans(), 0);
+        // Double close is rejected.
+        assert_eq!(rec.span_end(t(6), inner), None);
+        // Span elapsed landed in the hub histogram.
+        let hist = rec.hub().histogram("auth.handshake.us").unwrap();
+        assert_eq!(hist.count(), 1);
+        assert_eq!(hist.max(), Some(4000.0));
+        // Events: 2 begins + 2 ends, begins before their ends.
+        let phases: Vec<_> = rec.events().filter_map(|e| e.span).collect();
+        assert_eq!(phases.len(), 4);
+        assert_eq!(phases[0], (outer, SpanPhase::Begin));
+        assert_eq!(phases[2], (outer, SpanPhase::End));
+    }
+
+    #[test]
+    fn ring_mode_drops_oldest_but_keeps_exact_counters() {
+        let mut rec = Recorder::ring(2);
+        for i in 0..5u64 {
+            rec.event(t(i), "sim", "tick", vec![("i", i.into())]);
+        }
+        assert_eq!(rec.len(), 2);
+        assert_eq!(rec.dropped(), 3);
+        let first = rec.events().next().unwrap();
+        assert_eq!(first.fields[0].1, Value::U64(3));
+        // The hub still saw all five events.
+        assert_eq!(rec.hub().counter("sim.tick"), 5);
+    }
+
+    #[test]
+    fn jsonl_schema_is_stable() {
+        let mut rec = Recorder::new();
+        let s = rec.span_begin(t(0), "cloud", "place");
+        rec.event(t(1), "cloud", "migrate", vec![("task", 7u64.into()), ("ok", true.into())]);
+        rec.span_end(t(3), s);
+        let mut out = Vec::new();
+        rec.write_jsonl(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[0],
+            r#"{"at_us":0,"component":"cloud","kind":"place","span":0,"phase":"begin"}"#
+        );
+        assert_eq!(
+            lines[1],
+            r#"{"at_us":1000,"component":"cloud","kind":"migrate","fields":{"task":7,"ok":true}}"#
+        );
+        assert_eq!(
+            lines[2],
+            r#"{"at_us":3000,"component":"cloud","kind":"place","span":0,"phase":"end","elapsed_us":3000}"#
+        );
+    }
+
+    #[test]
+    fn recorder_acts_as_probe() {
+        let mut rec = Recorder::new();
+        {
+            let probe: &mut dyn Probe = &mut rec;
+            probe.emit(t(1), "sim", "radio.rx", &[("latency_us", Value::U64(250))]);
+        }
+        assert_eq!(rec.len(), 1);
+        assert_eq!(rec.hub().counter("sim.radio.rx"), 1);
+    }
+}

@@ -4,9 +4,24 @@
 //! non-decreasing timestamp order, with FIFO order among equal timestamps
 //! (insertion sequence breaks ties), which keeps runs deterministic.
 
+use crate::probe::Probe;
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// Running totals an [`EventQueue`] keeps about itself.
+///
+/// Maintained unconditionally — three integer updates per operation — so
+/// instrumented and uninstrumented runs execute identical queue code.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Events ever scheduled.
+    pub scheduled: u64,
+    /// Events popped (fired).
+    pub fired: u64,
+    /// High-water mark of pending events.
+    pub max_depth: usize,
+}
 
 /// A scheduled event: a payload due at an instant.
 #[derive(Debug, Clone)]
@@ -49,6 +64,7 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Scheduled<E>>,
     seq: u64,
     now: SimTime,
+    stats: QueueStats,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -60,7 +76,18 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), seq: 0, now: SimTime::ZERO }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            stats: QueueStats::default(),
+        }
+    }
+
+    /// Lifetime totals: events scheduled, fired, and the depth high-water
+    /// mark.
+    pub fn stats(&self) -> QueueStats {
+        self.stats
     }
 
     /// The current virtual time: the timestamp of the last popped event.
@@ -88,6 +115,8 @@ impl<E> EventQueue<E> {
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Scheduled { due, seq, payload });
+        self.stats.scheduled += 1;
+        self.stats.max_depth = self.stats.max_depth.max(self.heap.len());
     }
 
     /// Schedules `payload` after a delay relative to the current time.
@@ -106,6 +135,7 @@ impl<E> EventQueue<E> {
         let s = self.heap.pop()?;
         debug_assert!(s.due >= self.now);
         self.now = s.due;
+        self.stats.fired += 1;
         Some((s.due, s.payload))
     }
 
@@ -178,6 +208,35 @@ impl<E> Simulation<E> {
             if handler(t, payload, &mut self.queue) == Flow::Halt {
                 break;
             }
+        }
+    }
+
+    /// [`Simulation::run_until`] plus a summary `sim.kernel` event emitted
+    /// through `probe` when the loop exits: lifetime events
+    /// scheduled/fired, the queue-depth high-water mark, and what is still
+    /// pending.
+    pub fn run_until_probed<F>(
+        &mut self,
+        horizon: SimTime,
+        handler: F,
+        probe: Option<&mut dyn Probe>,
+    ) where
+        F: FnMut(SimTime, E, &mut EventQueue<E>) -> Flow,
+    {
+        self.run_until(horizon, handler);
+        if let Some(probe) = probe {
+            let stats = self.queue.stats();
+            probe.emit(
+                self.queue.now(),
+                "sim",
+                "kernel",
+                &[
+                    ("scheduled", stats.scheduled.into()),
+                    ("fired", stats.fired.into()),
+                    ("max_depth", stats.max_depth.into()),
+                    ("pending", self.queue.len().into()),
+                ],
+            );
         }
     }
 }
@@ -283,6 +342,49 @@ mod tests {
             }
         });
         assert_eq!(seen, 3);
+    }
+
+    #[test]
+    fn queue_stats_track_traffic_and_depth() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), ());
+        q.schedule(SimTime::from_secs(2), ());
+        q.schedule(SimTime::from_secs(3), ());
+        q.pop();
+        q.pop();
+        let stats = q.stats();
+        assert_eq!(stats, QueueStats { scheduled: 3, fired: 2, max_depth: 3 });
+    }
+
+    #[test]
+    fn run_until_probed_emits_kernel_summary() {
+        use crate::probe::{Probe, Value};
+
+        struct Last(Option<Vec<(&'static str, Value)>>);
+        impl Probe for Last {
+            fn emit(
+                &mut self,
+                _at: SimTime,
+                component: &'static str,
+                kind: &'static str,
+                fields: &[(&'static str, Value)],
+            ) {
+                assert_eq!((component, kind), ("sim", "kernel"));
+                self.0 = Some(fields.to_vec());
+            }
+        }
+
+        let mut sim = Simulation::new();
+        for s in 1..=6 {
+            sim.queue_mut().schedule(SimTime::from_secs(s), s);
+        }
+        let mut probe = Last(None);
+        sim.run_until_probed(SimTime::from_secs(4), |_, _, _| Flow::Continue, Some(&mut probe));
+        let fields = probe.0.expect("summary emitted");
+        assert!(fields.contains(&("scheduled", Value::U64(6))));
+        assert!(fields.contains(&("fired", Value::U64(4))));
+        assert!(fields.contains(&("max_depth", Value::U64(6))));
+        assert!(fields.contains(&("pending", Value::U64(2))));
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub mod geom;
 pub mod metrics;
 pub mod mobility;
 pub mod node;
+pub mod probe;
 pub mod radio;
 pub mod rng;
 pub mod roadnet;
@@ -41,17 +42,18 @@ pub mod trace;
 
 /// Convenient glob import of the commonly used types.
 pub mod prelude {
-    pub use crate::event::{EventQueue, Flow, Simulation};
+    pub use crate::event::{EventQueue, Flow, QueueStats, Simulation};
     pub use crate::geom::{Point, Rect, Segment, SpatialGrid};
     pub use crate::metrics::{Counter, Metrics, Ratio, Summary};
     pub use crate::mobility::{idm_acceleration, Fleet, IdmParams, Mobility, Vehicle};
     pub use crate::node::{
         Kinematics, Resources, SaeLevel, SensorSuite, VehicleId, VehicleProfile,
     };
+    pub use crate::probe::{Probe, Value};
     pub use crate::radio::{Cellular, Channel, NeighborTable, Rsu, RsuId, RsuNetwork};
     pub use crate::rng::SimRng;
     pub use crate::roadnet::{NodeId, RoadId, RoadNetwork};
     pub use crate::scenario::{CanyonModel, Regime, Scenario, ScenarioBuilder};
     pub use crate::time::{SimDuration, SimTime};
-    pub use crate::trace::{Trace, TraceSample};
+    pub use crate::trace::{Trace, TraceMeta, TraceSample};
 }

@@ -35,7 +35,14 @@ impl Counter {
 
 /// An online distribution summary over `f64` samples.
 ///
-/// Keeps every sample (experiments are bounded), so percentiles are exact.
+/// Keeps every sample, so percentiles are exact — **and memory grows
+/// without bound**: one `f64` per [`Summary::record`] call, forever. That
+/// is the right trade for bounded experiment outputs (thousands of
+/// samples), and the wrong one for per-message telemetry on hot paths; for
+/// high-volume streams use `vc_obs::Histogram`, which stores 64 fixed
+/// buckets regardless of sample count at the price of approximate
+/// percentiles. When the expected volume is known, [`Summary::with_capacity`]
+/// pre-allocates and [`Summary::len`] lets callers watch growth.
 ///
 /// ```
 /// use vc_sim::metrics::Summary;
@@ -54,6 +61,19 @@ impl Summary {
     /// Creates an empty summary.
     pub fn new() -> Self {
         Summary::default()
+    }
+
+    /// Creates an empty summary with room for `cap` samples before the
+    /// first reallocation. Use when the sample volume is known up front;
+    /// this does not cap growth — see the type docs for the memory trade.
+    pub fn with_capacity(cap: usize) -> Self {
+        Summary { samples: Vec::with_capacity(cap), sorted: false }
+    }
+
+    /// Number of samples held in memory (same as [`Summary::count`];
+    /// provided so call sites auditing memory growth read naturally).
+    pub fn len(&self) -> usize {
+        self.samples.len()
     }
 
     /// Records one sample. Non-finite samples are rejected.
@@ -320,6 +340,19 @@ mod tests {
         assert_eq!(s.p99(), 99.0);
         assert_eq!(s.percentile(0.0), 1.0);
         assert_eq!(s.percentile(1.0), 100.0);
+    }
+
+    #[test]
+    fn with_capacity_preallocates_without_capping() {
+        let mut s = Summary::with_capacity(4);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        for x in 0..10 {
+            s.record(x as f64);
+        }
+        // Capacity is a hint, not a cap: all samples are retained.
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.count(), s.len());
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! The instrumentation hook the simulation layer emits through.
+//!
+//! `vc-sim` sits at the bottom of the workspace dependency graph, so it
+//! cannot name the observability layer's `Recorder` directly. Instead it
+//! defines this minimal [`Probe`] trait; `vc-obs` implements it for its
+//! `Recorder`, and every probed code path takes an `Option<&mut dyn Probe>`
+//! — `None` compiles down to a branch per hook, so uninstrumented runs pay
+//! near zero.
+//!
+//! Field values are the small [`Value`] enum rather than strings so hooks
+//! never format anything unless a probe is actually attached.
+
+use crate::time::SimTime;
+
+/// A typed field value attached to an instrumentation event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer (counts, ids, sizes).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (latencies, rates).
+    F64(f64),
+    /// Boolean (success flags).
+    Bool(bool),
+    /// Short string (names, labels).
+    Str(String),
+}
+
+macro_rules! value_from {
+    ($($ty:ty => $variant:ident as $cast:ty),+ $(,)?) => {$(
+        impl From<$ty> for Value {
+            fn from(v: $ty) -> Value {
+                Value::$variant(v as $cast)
+            }
+        }
+    )+};
+}
+
+value_from!(
+    u64 => U64 as u64,
+    u32 => U64 as u64,
+    usize => U64 as u64,
+    i64 => I64 as i64,
+    i32 => I64 as i64,
+    f64 => F64 as f64,
+);
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+/// A sink for structured instrumentation events.
+///
+/// Implemented by `vc-obs`'s `Recorder`; simulation hooks call
+/// [`Probe::emit`] with a static component/kind pair and a short field
+/// list.
+pub trait Probe {
+    /// Records one event at sim-time `at` under `component.kind`.
+    fn emit(
+        &mut self,
+        at: SimTime,
+        component: &'static str,
+        kind: &'static str,
+        fields: &[(&'static str, Value)],
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Collect(Vec<(u64, &'static str, &'static str, usize)>);
+
+    impl Probe for Collect {
+        fn emit(
+            &mut self,
+            at: SimTime,
+            component: &'static str,
+            kind: &'static str,
+            fields: &[(&'static str, Value)],
+        ) {
+            self.0.push((at.as_micros(), component, kind, fields.len()));
+        }
+    }
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::from(3u64), Value::U64(3));
+        assert_eq!(Value::from(3usize), Value::U64(3));
+        assert_eq!(Value::from(-3i64), Value::I64(-3));
+        assert_eq!(Value::from(2.5), Value::F64(2.5));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("x"), Value::Str("x".into()));
+    }
+
+    #[test]
+    fn probe_object_safety_and_emit() {
+        let mut c = Collect(Vec::new());
+        let probe: &mut dyn Probe = &mut c;
+        probe.emit(SimTime::from_secs(1), "sim", "tick", &[("n", Value::from(5u64))]);
+        assert_eq!(c.0, vec![(1_000_000, "sim", "tick", 1)]);
+    }
+}

@@ -10,8 +10,9 @@
 
 use crate::geom::{Point, SpatialGrid};
 use crate::node::VehicleId;
+use crate::probe::Probe;
 use crate::rng::SimRng;
-use crate::time::SimDuration;
+use crate::time::{SimDuration, SimTime};
 
 /// V2V channel parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -82,6 +83,37 @@ impl Channel {
             return None;
         }
         Some(self.latency(contenders, bytes, rng))
+    }
+
+    /// [`Channel::try_deliver`] with instrumentation: emits `sim` events
+    /// `radio.tx` for the attempt and then `radio.rx` (with `latency_us`)
+    /// or `radio.drop` for the outcome. Consumes the RNG identically to the
+    /// unprobed path, so a run's random stream is unchanged by tracing.
+    pub fn try_deliver_probed(
+        &self,
+        at: SimTime,
+        dist: f64,
+        contenders: usize,
+        bytes: usize,
+        rng: &mut SimRng,
+        probe: Option<&mut dyn Probe>,
+    ) -> Option<SimDuration> {
+        let outcome = self.try_deliver(dist, contenders, bytes, rng);
+        if let Some(probe) = probe {
+            probe.emit(
+                at,
+                "sim",
+                "radio.tx",
+                &[("bytes", bytes.into()), ("contenders", contenders.into())],
+            );
+            match outcome {
+                Some(latency) => {
+                    probe.emit(at, "sim", "radio.rx", &[("latency_us", latency.as_micros().into())])
+                }
+                None => probe.emit(at, "sim", "radio.drop", &[("dist_m", dist.into())]),
+            }
+        }
+        outcome
     }
 
     /// One-hop latency assuming successful reception: serialization plus
@@ -372,6 +404,54 @@ mod tests {
         let big = ch.latency(0, 1_000_000, &mut rng).as_secs_f64();
         assert!(big > 1.0, "big transfer too fast: {big}");
         assert!(small < 0.1);
+    }
+
+    #[test]
+    fn probed_delivery_matches_unprobed_stream() {
+        use crate::probe::{Probe, Value};
+
+        struct Kinds(Vec<&'static str>);
+        impl Probe for Kinds {
+            fn emit(
+                &mut self,
+                _at: SimTime,
+                _component: &'static str,
+                kind: &'static str,
+                _fields: &[(&'static str, Value)],
+            ) {
+                self.0.push(kind);
+            }
+        }
+
+        let ch = Channel::dsrc();
+        let mut plain_rng = SimRng::seed_from(11);
+        let mut probed_rng = SimRng::seed_from(11);
+        let mut kinds = Kinds(Vec::new());
+        for i in 0..50 {
+            // Mix of in-range and out-of-range attempts.
+            let dist = if i % 3 == 0 { 400.0 } else { 50.0 };
+            let plain = ch.try_deliver(dist, 2, 100, &mut plain_rng);
+            let probed = ch.try_deliver_probed(
+                SimTime::ZERO,
+                dist,
+                2,
+                100,
+                &mut probed_rng,
+                Some(&mut kinds),
+            );
+            assert_eq!(plain, probed, "attempt {i}");
+        }
+        let tx = kinds.0.iter().filter(|k| **k == "radio.tx").count();
+        let rx = kinds.0.iter().filter(|k| **k == "radio.rx").count();
+        let drop = kinds.0.iter().filter(|k| **k == "radio.drop").count();
+        assert_eq!(tx, 50);
+        assert_eq!(rx + drop, 50);
+        assert!(rx > 0 && drop > 0);
+        // Passing no probe emits nothing and still matches.
+        let mut silent_rng = SimRng::seed_from(11);
+        let again = ch.try_deliver_probed(SimTime::ZERO, 50.0, 2, 100, &mut silent_rng, None);
+        let mut check_rng = SimRng::seed_from(11);
+        assert_eq!(again, ch.try_deliver(50.0, 2, 100, &mut check_rng));
     }
 
     #[test]

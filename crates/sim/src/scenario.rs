@@ -3,9 +3,11 @@
 
 use crate::geom::Point;
 use crate::mobility::Fleet;
+use crate::probe::Probe;
 use crate::radio::{Cellular, Channel, NeighborTable, RsuNetwork};
 use crate::rng::SimRng;
 use crate::roadnet::RoadNetwork;
+use crate::time::SimTime;
 
 /// Which of the paper's three v-cloud regimes a scenario models (Fig. 4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -210,6 +212,23 @@ impl Scenario {
         }
     }
 
+    /// [`Scenario::tick`] with instrumentation: emits one `sim`/`tick`
+    /// event at sim-time `at` carrying the fleet size and online count.
+    /// World evolution (and the RNG stream) is identical to the unprobed
+    /// path.
+    pub fn tick_probed(&mut self, at: SimTime, probe: Option<&mut dyn Probe>) {
+        self.tick();
+        if let Some(probe) = probe {
+            let online = self.fleet.vehicles().iter().filter(|v| v.online).count();
+            probe.emit(
+                at,
+                "sim",
+                "tick",
+                &[("vehicles", self.fleet.len().into()), ("online", online.into())],
+            );
+        }
+    }
+
     /// Line-of-sight factor for a link from `a` to `b` under the canyon
     /// model: 1.0 for open-field scenarios or street-following links, the
     /// model's attenuation when any sample along the link is inside a block.
@@ -242,6 +261,37 @@ impl Scenario {
             return None;
         }
         Some(self.channel.latency(contenders, bytes, &mut self.rng))
+    }
+
+    /// [`Scenario::try_deliver_between`] with instrumentation: emits
+    /// `sim` events `radio.tx` plus `radio.rx`/`radio.drop` through the
+    /// probe, mirroring [`Channel::try_deliver_probed`]. The RNG stream is
+    /// identical to the unprobed path.
+    pub fn try_deliver_between_probed(
+        &mut self,
+        at: SimTime,
+        a: Point,
+        b: Point,
+        contenders: usize,
+        bytes: usize,
+        probe: Option<&mut dyn Probe>,
+    ) -> Option<crate::time::SimDuration> {
+        let outcome = self.try_deliver_between(a, b, contenders, bytes);
+        if let Some(probe) = probe {
+            probe.emit(
+                at,
+                "sim",
+                "radio.tx",
+                &[("bytes", bytes.into()), ("contenders", contenders.into())],
+            );
+            match outcome {
+                Some(latency) => {
+                    probe.emit(at, "sim", "radio.rx", &[("latency_us", latency.as_micros().into())])
+                }
+                None => probe.emit(at, "sim", "radio.drop", &[("dist_m", a.distance(b).into())]),
+            }
+        }
+        outcome
     }
 
     /// Builds the current neighbor table from positions and channel range.
@@ -385,6 +435,51 @@ mod tests {
         }
         assert!(street_ok > 250, "street link healthy: {street_ok}/300");
         assert!(block_ok < street_ok / 3, "block link suppressed: {block_ok} vs {street_ok}");
+    }
+
+    #[test]
+    fn probed_paths_preserve_world_evolution() {
+        use crate::probe::{Probe, Value};
+
+        struct Count(usize);
+        impl Probe for Count {
+            fn emit(
+                &mut self,
+                _at: SimTime,
+                _component: &'static str,
+                _kind: &'static str,
+                _fields: &[(&'static str, Value)],
+            ) {
+                self.0 += 1;
+            }
+        }
+
+        let make = || {
+            let mut b = ScenarioBuilder::new();
+            b.seed(12).vehicles(15);
+            b.urban_with_rsus()
+        };
+        let mut plain = make();
+        let mut probed = make();
+        let mut probe = Count(0);
+        for i in 0..20 {
+            plain.tick();
+            let at = SimTime::from_millis(i * 500);
+            probed.tick_probed(at, Some(&mut probe));
+            let p = plain.try_deliver_between(Point::new(0.0, 0.0), Point::new(80.0, 0.0), 1, 64);
+            let q = probed.try_deliver_between_probed(
+                at,
+                Point::new(0.0, 0.0),
+                Point::new(80.0, 0.0),
+                1,
+                64,
+                Some(&mut probe),
+            );
+            assert_eq!(p, q, "tick {i}");
+        }
+        assert_eq!(plain.fleet.positions(), probed.fleet.positions());
+        // 20 ticks + 20 tx + 20 rx/drop events.
+        assert_eq!(probe.0, 60);
     }
 
     #[test]

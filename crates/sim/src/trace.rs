@@ -28,16 +28,37 @@ pub struct TraceSample {
     pub online: bool,
 }
 
+/// Optional run provenance carried in the CSV header comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceMeta {
+    /// RNG seed the run used.
+    pub seed: u64,
+    /// Scenario name (no commas or newlines; they would break the CSV).
+    pub scenario: String,
+}
+
 /// An in-memory mobility trace.
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
     samples: Vec<TraceSample>,
+    meta: Option<TraceMeta>,
 }
 
 impl Trace {
     /// Creates an empty trace.
     pub fn new() -> Self {
         Trace::default()
+    }
+
+    /// Attaches run provenance (seed + scenario name) that [`Trace::write_csv`]
+    /// emits as a leading `#` comment line.
+    pub fn set_meta(&mut self, seed: u64, scenario: &str) {
+        self.meta = Some(TraceMeta { seed, scenario: scenario.to_owned() });
+    }
+
+    /// The attached provenance, if any.
+    pub fn meta(&self) -> Option<&TraceMeta> {
+        self.meta.as_ref()
     }
 
     /// Records the whole fleet at `now`.
@@ -76,11 +97,16 @@ impl Trace {
     }
 
     /// Writes the trace as CSV (`t_s,vehicle,x,y,vx,vy,online` header).
+    /// When provenance was attached via [`Trace::set_meta`], a
+    /// `# seed=<seed> scenario=<name>` comment line precedes the header.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors from the writer.
     pub fn write_csv<W: Write>(&self, mut out: W) -> io::Result<()> {
+        if let Some(meta) = &self.meta {
+            writeln!(out, "# seed={} scenario={}", meta.seed, meta.scenario)?;
+        }
         writeln!(out, "t_s,vehicle,x,y,vx,vy,online")?;
         for s in &self.samples {
             writeln!(
@@ -96,6 +122,69 @@ impl Trace {
             )?;
         }
         Ok(())
+    }
+
+    /// Parses CSV produced by [`Trace::write_csv`], including the optional
+    /// meta comment line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn parse_csv(text: &str) -> Result<Trace, String> {
+        let mut trace = Trace::new();
+        let mut saw_header = false;
+        for (lineno, line) in text.lines().enumerate() {
+            let n = lineno + 1;
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(comment) = line.strip_prefix('#') {
+                let mut seed = None;
+                let mut scenario = None;
+                for token in comment.split_whitespace() {
+                    if let Some(v) = token.strip_prefix("seed=") {
+                        seed = Some(v.parse::<u64>().map_err(|e| format!("line {n}: {e}"))?);
+                    } else if let Some(v) = token.strip_prefix("scenario=") {
+                        scenario = Some(v.to_owned());
+                    }
+                }
+                if let (Some(seed), Some(scenario)) = (seed, scenario) {
+                    trace.meta = Some(TraceMeta { seed, scenario });
+                }
+                continue;
+            }
+            if !saw_header {
+                if line != "t_s,vehicle,x,y,vx,vy,online" {
+                    return Err(format!("line {n}: unexpected header {line:?}"));
+                }
+                saw_header = true;
+                continue;
+            }
+            let cols: Vec<&str> = line.split(',').collect();
+            if cols.len() != 7 {
+                return Err(format!("line {n}: expected 7 columns, got {}", cols.len()));
+            }
+            let f = |i: usize| -> Result<f64, String> {
+                cols[i].parse::<f64>().map_err(|e| format!("line {n} col {i}: {e}"))
+            };
+            trace.samples.push(TraceSample {
+                at: SimTime::from_secs_f64(f(0)?),
+                vehicle: VehicleId(cols[1].parse::<u32>().map_err(|e| format!("line {n}: {e}"))?),
+                x: f(2)?,
+                y: f(3)?,
+                vx: f(4)?,
+                vy: f(5)?,
+                online: match cols[6] {
+                    "1" => true,
+                    "0" => false,
+                    other => return Err(format!("line {n}: bad online flag {other:?}")),
+                },
+            });
+        }
+        if !saw_header {
+            return Err("missing CSV header".to_owned());
+        }
+        Ok(trace)
     }
 
     /// Total distance traveled by one vehicle over the trace, meters.
@@ -164,6 +253,49 @@ mod tests {
         for line in &lines[1..] {
             assert_eq!(line.split(',').count(), 7, "bad csv line: {line}");
         }
+    }
+
+    #[test]
+    fn csv_round_trips_with_meta() {
+        let mut trace = traced_run(5);
+        trace.set_meta(5, "urban_with_rsus");
+        let mut first = Vec::new();
+        trace.write_csv(&mut first).unwrap();
+        let text = String::from_utf8(first).unwrap();
+        assert!(text.starts_with("# seed=5 scenario=urban_with_rsus\n"));
+
+        let parsed = Trace::parse_csv(&text).unwrap();
+        assert_eq!(parsed.meta(), trace.meta());
+        assert_eq!(parsed.len(), trace.len());
+        for (a, b) in parsed.samples().iter().zip(trace.samples()) {
+            assert_eq!(a.vehicle, b.vehicle);
+            assert_eq!(a.online, b.online);
+            // Values survive at the writer's 3-decimal precision.
+            assert!((a.x - b.x).abs() < 5e-4);
+            assert!((a.at.as_secs_f64() - b.at.as_secs_f64()).abs() < 5e-4);
+        }
+
+        // A second write of the parsed trace is byte-identical: the format
+        // is a fixed point after one quantizing round trip.
+        let mut second = Vec::new();
+        parsed.write_csv(&mut second).unwrap();
+        assert_eq!(text.as_bytes(), second.as_slice());
+    }
+
+    #[test]
+    fn parse_csv_rejects_malformed_input() {
+        assert!(Trace::parse_csv("").is_err());
+        assert!(Trace::parse_csv("not,a,header\n").is_err());
+        let bad_row = "t_s,vehicle,x,y,vx,vy,online\n1.0,0,1.0\n";
+        assert!(Trace::parse_csv(bad_row).unwrap_err().contains("7 columns"));
+        let bad_flag = "t_s,vehicle,x,y,vx,vy,online\n1.0,0,0.0,0.0,0.0,0.0,2\n";
+        assert!(Trace::parse_csv(bad_flag).unwrap_err().contains("online"));
+        // Meta-less input parses with no meta.
+        let plain = "t_s,vehicle,x,y,vx,vy,online\n0.500,3,1.000,2.000,0.000,0.000,1\n";
+        let t = Trace::parse_csv(plain).unwrap();
+        assert!(t.meta().is_none());
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.samples()[0].vehicle, VehicleId(3));
     }
 
     #[test]
