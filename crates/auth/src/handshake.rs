@@ -167,6 +167,7 @@ pub fn run_handshake_obs(
     entropy: u64,
     mut rec: Option<&mut Recorder>,
 ) -> Result<SessionKey, AuthError> {
+    let _hs = vc_obs::profile::frame("auth.handshake");
     let span = rec.as_deref_mut().map(|r| r.span_begin(start, "auth", "handshake"));
     let fail = |rec: &mut Option<&mut Recorder>, at: SimTime, phase: &'static str, e: AuthError| {
         if let Some(r) = rec.as_deref_mut() {

@@ -3,8 +3,8 @@
 use std::io::Write;
 use vc_bench::experiments::registry;
 
-const USAGE: &str =
-    "usage: experiments [--quick] [--seed N] [--json DIR] [--trace FILE] [--metrics] [--list] [e1..e15 ...]";
+const USAGE: &str = "usage: experiments [--quick] [--seed N] [--json DIR] [--trace FILE] \
+     [--profile FILE] [--folded FILE] [--metrics] [--list] [e1..e15 ...]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -12,6 +12,8 @@ fn main() {
     let mut seed: u64 = 42;
     let mut json_dir: Option<String> = None;
     let mut trace_path: Option<String> = None;
+    let mut profile_path: Option<String> = None;
+    let mut folded_path: Option<String> = None;
     let mut metrics = false;
     let mut list = false;
     let mut wanted: Vec<String> = Vec::new();
@@ -39,6 +41,20 @@ fn main() {
                 i += 1;
                 trace_path = Some(args.get(i).cloned().unwrap_or_else(|| {
                     eprintln!("--trace needs a file path");
+                    std::process::exit(2);
+                }));
+            }
+            "--profile" => {
+                i += 1;
+                profile_path = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--profile needs a file path");
+                    std::process::exit(2);
+                }));
+            }
+            "--folded" => {
+                i += 1;
+                folded_path = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--folded needs a file path");
                     std::process::exit(2);
                 }));
             }
@@ -85,25 +101,52 @@ fn main() {
         }
     };
 
-    // With a recorder attached, run everything sequentially in registry
-    // order through ONE recorder so the trace (and metrics) are a single
-    // coherent, deterministic stream.
-    if trace_path.is_some() || metrics {
-        let mut rec = vc_obs::Recorder::new();
+    // With a recorder or profiler attached, run everything sequentially in
+    // registry order on this thread so the trace (and metrics) are a single
+    // coherent, deterministic stream and every profile frame lands in one
+    // call tree. Profiling is wall-clock-only and never touches the
+    // recorder, so the trace stays byte-identical with or without it.
+    let profiling = profile_path.is_some() || folded_path.is_some();
+    if trace_path.is_some() || metrics || profiling {
+        if profiling {
+            vc_obs::profile::install(vc_obs::profile::Profiler::new());
+        }
+        let mut rec = (trace_path.is_some() || metrics).then(vc_obs::Recorder::new);
         for exp in &selected {
+            let _exp = vc_obs::profile::frame(exp.id);
             let start = std::time::Instant::now();
-            let table = (exp.run)(quick, seed, Some(&mut rec));
+            let table = {
+                let _run = vc_obs::profile::frame("run");
+                (exp.run)(quick, seed, rec.as_mut())
+            };
+            let _report = vc_obs::profile::frame("report");
             emit(exp.id, &table, start.elapsed().as_secs_f64());
         }
-        if let Some(path) = &trace_path {
-            let mut f =
-                std::io::BufWriter::new(std::fs::File::create(path).expect("create trace file"));
-            rec.write_jsonl(&mut f).expect("write trace");
-            f.flush().expect("flush trace");
-            eprintln!("trace: {} events -> {path} ({} dropped)", rec.len(), rec.dropped());
+        if let Some(rec) = &rec {
+            if let Some(path) = &trace_path {
+                let mut f = std::io::BufWriter::new(
+                    std::fs::File::create(path).expect("create trace file"),
+                );
+                rec.write_jsonl(&mut f).expect("write trace");
+                f.flush().expect("flush trace");
+                eprintln!("trace: {} events -> {path} ({} dropped)", rec.len(), rec.dropped());
+            }
+            if metrics {
+                print_metrics(rec.hub());
+            }
         }
-        if metrics {
-            print_metrics(rec.hub());
+        if profiling {
+            let prof = vc_obs::profile::take().expect("profiler was installed above");
+            assert_eq!(prof.open_frames(), 0, "all profile frames must close before export");
+            if let Some(path) = &profile_path {
+                std::fs::write(path, prof.to_json().to_string_pretty() + "\n")
+                    .expect("write profile json");
+                eprintln!("profile: call tree -> {path}");
+            }
+            if let Some(path) = &folded_path {
+                std::fs::write(path, prof.collapsed()).expect("write folded stacks");
+                eprintln!("profile: collapsed stacks -> {path}");
+            }
         }
         return;
     }

@@ -1,16 +1,25 @@
 //! `vcstat` — summarizes a JSONL trace produced by `experiments --trace`.
 //!
 //! ```text
-//! vcstat out.jsonl            # per-component tables + 10 slowest spans
-//! vcstat out.jsonl --top 25   # more spans
+//! vcstat out.jsonl                  # per-component tables + 10 slowest spans
+//! vcstat out.jsonl --top 25         # more spans
+//! vcstat out.jsonl --by-kind       # latency breakdown per component.kind
+//! vcstat out.jsonl --critical-path # longest nested-span chain per component
+//! vcstat out.jsonl --histograms    # p50/p90/p99 + sparkline per component.kind
 //! ```
 //!
 //! Reads the event stream back with `vc_testkit`'s JSON parser (the same
 //! writer produced it), so the tool needs no external dependencies. Output
 //! is deterministic: components and kinds sort lexically, span ties break
 //! on timestamp then span id.
+//!
+//! Every line must be a JSON object with a numeric `at_us` and string
+//! `component` / `kind`; a malformed or truncated line aborts with the
+//! offending line number and a nonzero exit, so a corrupt trace never
+//! yields silently wrong statistics.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use vc_obs::Histogram;
 use vc_testkit::json::Json;
 
 struct SpanRow {
@@ -20,10 +29,34 @@ struct SpanRow {
     label: String,
 }
 
+/// One span reconstructed from its begin/end event pair. Nesting follows
+/// stream order: a span's parent is the innermost span still open when its
+/// `begin` event appears, which is exactly how the recorder's callers nest.
+struct SpanNode {
+    label: String,
+    component: String,
+    /// `None` until the matching `end` event arrives (truncation-tolerant:
+    /// an unclosed span simply never joins the elapsed statistics).
+    elapsed_us: Option<u64>,
+    parent: Option<usize>,
+    children: Vec<usize>,
+}
+
+fn die(msg: String) -> ! {
+    eprintln!("vcstat: {msg}");
+    std::process::exit(1);
+}
+
+const USAGE: &str =
+    "usage: vcstat TRACE.jsonl [--top N] [--by-kind] [--critical-path] [--histograms]";
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut path: Option<String> = None;
     let mut top = 10usize;
+    let mut by_kind = false;
+    let mut critical_path = false;
+    let mut histograms = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -34,8 +67,11 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--by-kind" => by_kind = true,
+            "--critical-path" => critical_path = true,
+            "--histograms" => histograms = true,
             flag if flag.starts_with("--") => {
-                eprintln!("unknown flag {flag}; usage: vcstat TRACE.jsonl [--top N]");
+                eprintln!("unknown flag {flag}; {USAGE}");
                 std::process::exit(2);
             }
             p => path = Some(p.to_owned()),
@@ -43,41 +79,84 @@ fn main() {
         i += 1;
     }
     let Some(path) = path else {
-        eprintln!("usage: vcstat TRACE.jsonl [--top N]");
+        eprintln!("{USAGE}");
         std::process::exit(2);
     };
-    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-        eprintln!("vcstat: cannot read {path}: {e}");
-        std::process::exit(1);
-    });
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| die(format!("cannot read {path}: {e}")));
 
     // component -> kind -> count
     let mut by_component: BTreeMap<String, BTreeMap<String, u64>> = BTreeMap::new();
     let mut spans: Vec<SpanRow> = Vec::new();
+    let mut nodes: Vec<SpanNode> = Vec::new();
+    let mut open_stack: Vec<usize> = Vec::new();
+    let mut by_span_id: HashMap<u64, usize> = HashMap::new();
+    // component.kind -> log-scale histogram of elapsed_us, rebuilt from the
+    // span-end events (the same shape `MetricsHub` would have recorded live).
+    let mut hists: BTreeMap<String, Histogram> = BTreeMap::new();
     let mut events = 0u64;
     let mut first_us = u64::MAX;
     let mut last_us = 0u64;
     for (lineno, line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
         if line.trim().is_empty() {
             continue;
         }
-        let doc = Json::parse(line).unwrap_or_else(|e| {
-            eprintln!("vcstat: {path}:{}: bad JSON: {e}", lineno + 1);
-            std::process::exit(1);
-        });
-        let component = doc["component"].as_str().unwrap_or("?").to_owned();
-        let kind = doc["kind"].as_str().unwrap_or("?").to_owned();
-        let at_us = doc["at_us"].as_f64().unwrap_or(0.0) as u64;
+        let doc = Json::parse(line)
+            .unwrap_or_else(|e| die(format!("{path}:{lineno}: bad JSON (truncated trace?): {e}")));
+        if !matches!(doc, Json::Obj(_)) {
+            die(format!("{path}:{lineno}: expected a JSON object, got a different value"));
+        }
+        let Some(at_us) = doc["at_us"].as_f64() else {
+            die(format!("{path}:{lineno}: event lacks numeric \"at_us\""));
+        };
+        let at_us = at_us as u64;
+        let Some(component) = doc["component"].as_str().map(str::to_owned) else {
+            die(format!("{path}:{lineno}: event lacks string \"component\""));
+        };
+        let Some(kind) = doc["kind"].as_str().map(str::to_owned) else {
+            die(format!("{path}:{lineno}: event lacks string \"kind\""));
+        };
         events += 1;
         first_us = first_us.min(at_us);
         last_us = last_us.max(at_us);
-        if let Some(elapsed) = doc["elapsed_us"].as_f64() {
-            spans.push(SpanRow {
-                elapsed_us: elapsed as u64,
-                at_us,
-                span: doc["span"].as_f64().unwrap_or(0.0) as u64,
-                label: format!("{component}.{kind}"),
-            });
+        let label = format!("{component}.{kind}");
+
+        let span_id = doc["span"].as_f64().map(|s| s as u64);
+        match (span_id, doc["phase"].as_str()) {
+            (Some(id), Some("begin")) => {
+                let parent = open_stack.last().copied();
+                let idx = nodes.len();
+                nodes.push(SpanNode {
+                    label: label.clone(),
+                    component: component.clone(),
+                    elapsed_us: None,
+                    parent,
+                    children: Vec::new(),
+                });
+                if let Some(p) = parent {
+                    nodes[p].children.push(idx);
+                }
+                by_span_id.insert(id, idx);
+                open_stack.push(idx);
+            }
+            (Some(id), Some("end")) => {
+                let Some(elapsed) = doc["elapsed_us"].as_f64() else {
+                    die(format!("{path}:{lineno}: span-end event lacks numeric \"elapsed_us\""));
+                };
+                let elapsed = elapsed as u64;
+                spans.push(SpanRow { elapsed_us: elapsed, at_us, span: id, label: label.clone() });
+                hists.entry(format!("{label}.us")).or_default().record(elapsed as f64);
+                let Some(&idx) = by_span_id.get(&id) else {
+                    die(format!("{path}:{lineno}: span {id} ends but never began"));
+                };
+                nodes[idx].elapsed_us = Some(elapsed);
+                // Spans may close out of order, so remove by value, not pop.
+                if let Some(pos) = open_stack.iter().rposition(|&n| n == idx) {
+                    open_stack.remove(pos);
+                }
+            }
+            _ => {}
         }
         *by_component.entry(component).or_default().entry(kind).or_default() += 1;
     }
@@ -108,6 +187,16 @@ fn main() {
         }
     }
 
+    if by_kind {
+        print_by_kind(&hists);
+    }
+    if histograms {
+        print_histograms(&hists);
+    }
+    if critical_path {
+        print_critical_path(&nodes);
+    }
+
     if spans.is_empty() {
         println!("\nno closed spans in this trace");
         return;
@@ -119,5 +208,138 @@ fn main() {
     println!("  {:>12}  {:>12}  {:>6}  span", "elapsed_us", "end_at_us", "id");
     for row in spans.iter().take(top) {
         println!("  {:>12}  {:>12}  {:>6}  {}", row.elapsed_us, row.at_us, row.span, row.label);
+    }
+}
+
+/// Latency breakdown per `component.kind`: how many spans closed, where the
+/// sim-time went in aggregate, and the extremes. Sorted by total descending
+/// so the heaviest surface reads first.
+fn print_by_kind(hists: &BTreeMap<String, Histogram>) {
+    println!("\nspan latency by kind (sim-time)");
+    if hists.is_empty() {
+        println!("  no closed spans");
+        return;
+    }
+    let name_width = hists.keys().map(String::len).max().unwrap_or(4).max(4);
+    let mut rows: Vec<(&String, &Histogram)> = hists.iter().collect();
+    rows.sort_by(|a, b| {
+        b.1.sum().partial_cmp(&a.1.sum()).expect("sums are finite").then(a.0.cmp(b.0))
+    });
+    println!(
+        "  {:<name_width$}  {:>8}  {:>12}  {:>12}  {:>12}",
+        "span kind", "count", "total_us", "mean_us", "max_us"
+    );
+    for (name, h) in rows {
+        println!(
+            "  {name:<name_width$}  {:>8}  {:>12.0}  {:>12.1}  {:>12.0}",
+            h.count(),
+            h.sum(),
+            h.mean().unwrap_or(0.0),
+            h.max().unwrap_or(0.0),
+        );
+    }
+}
+
+/// Renders bucket counts as a fixed-alphabet sparkline from the histogram's
+/// lowest to highest non-empty bucket (log-2 value scale left to right).
+fn sparkline(h: &Histogram) -> String {
+    const LEVELS: [char; 8] = ['.', ':', '-', '=', '+', '*', '#', '@'];
+    let nonzero: Vec<(usize, u64)> =
+        h.nonzero_buckets().map(|(lo, _, n)| (Histogram::bucket_index(lo), n)).collect();
+    let (Some(&(first, _)), Some(&(last, _))) = (nonzero.first(), nonzero.last()) else {
+        return String::new();
+    };
+    let peak = nonzero.iter().map(|&(_, n)| n).max().expect("nonzero is not empty");
+    let mut dense = vec![0u64; last - first + 1];
+    for (i, n) in nonzero {
+        dense[i - first] = n;
+    }
+    dense
+        .into_iter()
+        .map(|n| {
+            if n == 0 {
+                ' '
+            } else {
+                let level = (n * (LEVELS.len() as u64 - 1)).div_ceil(peak) as usize;
+                LEVELS[level.min(LEVELS.len() - 1)]
+            }
+        })
+        .collect()
+}
+
+/// Per-kind percentiles plus a log-scale sparkline of the elapsed-time
+/// distribution, rebuilt from the trace exactly as the live
+/// `MetricsHub` histograms would have recorded it.
+fn print_histograms(hists: &BTreeMap<String, Histogram>) {
+    println!("\nspan latency histograms (us, 64-bucket log scale)");
+    if hists.is_empty() {
+        println!("  no closed spans");
+        return;
+    }
+    let name_width = hists.keys().map(String::len).max().unwrap_or(4).max(4);
+    println!(
+        "  {:<name_width$}  {:>8}  {:>10}  {:>10}  {:>10}  distribution",
+        "span kind", "count", "p50_us", "p90_us", "p99_us"
+    );
+    for (name, h) in hists {
+        println!(
+            "  {name:<name_width$}  {:>8}  {:>10.0}  {:>10.0}  {:>10.0}  |{}|",
+            h.count(),
+            h.approx_percentile(0.50).unwrap_or(0.0),
+            h.approx_percentile(0.90).unwrap_or(0.0),
+            h.approx_percentile(0.99).unwrap_or(0.0),
+            sparkline(h),
+        );
+    }
+}
+
+/// For each component, follows the slowest root span down through its
+/// slowest child at every level — the chain where that component's
+/// sim-time actually went.
+fn print_critical_path(nodes: &[SpanNode]) {
+    println!("\ncritical path (slowest nested-span chain per component)");
+    // Slowest closed root span per component, ties broken by tree order.
+    let mut slowest_root: BTreeMap<&str, usize> = BTreeMap::new();
+    for (idx, node) in nodes.iter().enumerate() {
+        if node.parent.is_some() {
+            continue;
+        }
+        let Some(elapsed) = node.elapsed_us else { continue };
+        let current = slowest_root.entry(&node.component).or_insert(idx);
+        if elapsed > nodes[*current].elapsed_us.unwrap_or(0) {
+            *current = idx;
+        }
+    }
+    if slowest_root.is_empty() {
+        println!("  no closed root spans");
+        return;
+    }
+    for (component, root) in slowest_root {
+        println!("  [{component}]");
+        let mut at = root;
+        let mut depth = 0usize;
+        loop {
+            let node = &nodes[at];
+            let elapsed = node.elapsed_us.expect("chain only follows closed spans");
+            let share = node
+                .parent
+                .filter(|_| depth > 0)
+                .and_then(|p| nodes[p].elapsed_us)
+                .filter(|&p| p > 0)
+                .map(|p| format!("  ({:.1}% of parent)", elapsed as f64 / p as f64 * 100.0))
+                .unwrap_or_default();
+            println!("  {:indent$}{}  {elapsed} us{share}", "", node.label, indent = depth * 2);
+            // Descend into the slowest closed child, if any.
+            let next = node.children.iter().filter(|&&c| nodes[c].elapsed_us.is_some()).max_by_key(
+                |&&c| (nodes[c].elapsed_us.expect("filtered to closed"), usize::MAX - c),
+            );
+            match next {
+                Some(&c) => {
+                    at = c;
+                    depth += 1;
+                }
+                None => break,
+            }
+        }
     }
 }

@@ -41,11 +41,13 @@ pub fn run(quick: bool, seed: u64, mut rec: Option<&mut Recorder>) -> Table {
 
     for kind in [ArchitectureKind::InfrastructureBased, ArchitectureKind::Dynamic] {
         for fail_fraction in [0.0, 0.5, 1.0] {
+            let setup = vc_obs::profile::frame("setup");
             let mut builder = ScenarioBuilder::new();
             builder.seed(seed).vehicles(vehicles);
             let scenario = builder.urban_with_rsus();
             let mut sim = CloudSim::new(scenario, kind, SchedulerConfig::default(), Kinematic);
             sim.submit_batch(tasks / 2, 80.0, None);
+            drop(setup);
             sim.run_ticks_obs(pre_ticks, reborrow(&mut rec));
             let pre = sim.scheduler().stats().completed;
 
@@ -91,7 +93,10 @@ pub fn run(quick: bool, seed: u64, mut rec: Option<&mut Recorder>) -> Table {
     let mut coverage = mode.coverage(OperatingMode::Emergency);
     while coverage < 0.95 && rounds < 400 {
         let at = SimTime::ZERO + SimDuration::from_secs_f64(rounds as f64 * scenario.dt);
-        scenario.tick_probed(at, as_probe(&mut rec));
+        {
+            let _sim = vc_obs::profile::frame("sim.tick");
+            scenario.tick_probed(at, as_probe(&mut rec));
+        }
         let table_nb = scenario.neighbor_table();
         let positions = scenario.fleet.positions();
         mode.gossip_round_obs(

@@ -9,7 +9,6 @@
 //! and the emergency-escalation grant time.
 
 use crate::table::{f1, f3, pct, Table};
-use std::time::Instant;
 use vc_access::prelude::*;
 use vc_auth::token::ServiceId;
 use vc_cloud::prelude::*;
@@ -48,9 +47,14 @@ pub fn run(quick: bool, seed: u64, _rec: Option<&mut vc_obs::Recorder>) -> Table
     for i in 0..requests {
         let t = now + SimDuration::from_secs(i as u64 + 1);
         let hello = creds.wallet.sign(format!("hello {i}").as_bytes(), t);
-        let start = Instant::now();
+        // Wall-clock measurement goes through the profiler's timed frames
+        // (not ad-hoc `Instant` blocks) so that under `experiments
+        // --profile` these crypto paths land in the same profile.json tree
+        // as the rest of the stack; `finish()` returns the elapsed time
+        // whether or not a profiler is installed.
+        let frame = vc_obs::profile::timed_frame("admit");
         let token = pipeline.admit(&hello, ServiceId(1), t).expect("admit");
-        admit_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        admit_ms.push(frame.finish().as_secs_f64() * 1e3);
 
         let mut package = DataPackage::seal_new(
             i as u64,
@@ -62,11 +66,11 @@ pub fn run(quick: bool, seed: u64, _rec: Option<&mut vc_obs::Recorder>) -> Table
         );
         let ctx = Context::member_at(Point::new(0.0, 0.0), t);
         let proof = SecurePipeline::make_proof(&creds, i as u64, t);
-        let start = Instant::now();
+        let frame = vc_obs::profile::timed_frame("authorize");
         pipeline
             .authorize(&mut package, Action::Read, &token, ServiceId(1), &proof, &ctx)
             .expect("authorize");
-        authorize_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        authorize_ms.push(frame.finish().as_secs_f64() * 1e3);
 
         // Emergency escalation: context flips, the deny becomes a grant —
         // measure just the re-decision (policy evaluation + unseal path).
@@ -81,11 +85,11 @@ pub fn run(quick: bool, seed: u64, _rec: Option<&mut vc_obs::Recorder>) -> Table
         let mut crisis = ctx.clone();
         crisis.emergency = true;
         let proof2 = SecurePipeline::make_proof(&creds, 100_000 + i as u64, t);
-        let start = Instant::now();
+        let frame = vc_obs::profile::timed_frame("emergency.grant");
         pipeline
             .authorize(&mut package2, Action::Read, &token, ServiceId(1), &proof2, &crisis)
             .expect("emergency grant");
-        emergency_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        emergency_ms.push(frame.finish().as_secs_f64() * 1e3);
     }
 
     let mut push = |name: &str, xs: &mut Vec<f64>, unit: &str| {
@@ -103,6 +107,7 @@ pub fn run(quick: bool, seed: u64, _rec: Option<&mut vc_obs::Recorder>) -> Table
     // Two vehicles closing at relative speed v share ~2*range/v seconds of
     // contact. The exchange needs ≈ 3 radio round trips (hello, token,
     // authorize) plus the compute above.
+    let _window = vc_obs::profile::frame("contact.window");
     let channel = Channel::dsrc();
     let mut rng = SimRng::seed_from(seed);
     let compute_s = {

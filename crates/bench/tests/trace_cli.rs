@@ -47,6 +47,65 @@ fn trace_runs_are_byte_identical_and_multi_component() {
 }
 
 #[test]
+fn vcstat_analytics_flags_report_latency_breakdowns() {
+    let dir = std::env::temp_dir().join(format!("vc_vcstat_cli_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let trace = dir.join("e3.jsonl");
+    run_trace(&trace);
+    let out = Command::new(env!("CARGO_BIN_EXE_vcstat"))
+        .arg(&trace)
+        .args(["--critical-path", "--histograms", "--by-kind"])
+        .output()
+        .expect("vcstat runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let report = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(report.contains("span latency by kind"), "report: {report}");
+    assert!(report.contains("span latency histograms"), "report: {report}");
+    assert!(report.contains("critical path"), "report: {report}");
+    // E3's re-join handshake spans drive all three views.
+    assert!(report.contains("auth.handshake.us"), "report: {report}");
+    assert!(report.contains("[auth]"), "report: {report}");
+    // The sparkline renders between pipes with the fixed alphabet.
+    let spark = report
+        .lines()
+        .find(|l| l.contains("auth.handshake.us") && l.contains('|'))
+        .expect("histogram row with sparkline");
+    let bar = spark.split('|').nth(1).expect("sparkline between pipes");
+    assert!(!bar.is_empty() && bar.chars().all(|c| " .:-=+*#@".contains(c)), "bar: {bar:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn vcstat_rejects_a_corrupt_trace_with_the_line_number() {
+    let fixture =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/corrupt_trace.jsonl");
+    let out =
+        Command::new(env!("CARGO_BIN_EXE_vcstat")).arg(&fixture).output().expect("vcstat runs");
+    assert!(!out.status.success(), "a truncated trace must fail");
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(err.contains("corrupt_trace.jsonl:6"), "error must name the line: {err}");
+    assert!(err.contains("bad JSON"), "err: {err}");
+
+    // Structurally valid JSON that is not a trace event also fails loudly.
+    let dir = std::env::temp_dir().join(format!("vc_vcstat_bad_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    for (name, line, needle) in [
+        ("array.jsonl", "[1,2,3]", "expected a JSON object"),
+        ("no_at.jsonl", r#"{"component":"x","kind":"y"}"#, "lacks numeric \"at_us\""),
+        ("no_kind.jsonl", r#"{"at_us":1,"component":"x"}"#, "lacks string \"kind\""),
+    ] {
+        let path = dir.join(name);
+        std::fs::write(&path, format!("{line}\n")).expect("write fixture");
+        let out = Command::new(env!("CARGO_BIN_EXE_vcstat")).arg(&path).output().expect("runs");
+        assert!(!out.status.success(), "{name} must fail");
+        let err = String::from_utf8_lossy(&out.stderr).into_owned();
+        assert!(err.contains(needle), "{name}: {err}");
+        assert!(err.contains(":1:"), "{name} error must carry the line number: {err}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn list_flag_prints_every_experiment_with_a_description() {
     let out = Command::new(env!("CARGO_BIN_EXE_experiments"))
         .arg("--list")

@@ -229,7 +229,11 @@ impl<E: StayEstimator> CloudSim<E> {
     ///
     /// [`tick`]: CloudSim::tick
     pub fn tick_obs(&mut self, mut rec: Option<&mut vc_obs::Recorder>) {
-        self.scenario.tick_probed(self.now, vc_obs::as_probe(&mut rec));
+        let _tick = vc_obs::profile::frame("cloud.tick");
+        {
+            let _sim = vc_obs::profile::frame("sim.tick");
+            self.scenario.tick_probed(self.now, vc_obs::as_probe(&mut rec));
+        }
         self.now += SimDuration::from_secs_f64(self.scenario.dt);
         let membership = membership(self.kind, &self.scenario);
         let hosts = hosts_of(&self.scenario, &membership, &self.estimator);

@@ -108,6 +108,7 @@ impl ModeManager {
         at: vc_sim::time::SimTime,
         rec: Option<&mut vc_obs::Recorder>,
     ) -> usize {
+        let _round = vc_obs::profile::frame("mode.gossip");
         let switched = self.gossip_round(neighbors, positions, channel, rng);
         if let Some(r) = rec {
             r.event(

@@ -317,6 +317,7 @@ impl Scheduler {
     }
 
     fn place_queued(&mut self, host_map: &BTreeMap<VehicleId, HostInfo>) {
+        let _place = vc_obs::profile::frame("sched.place");
         let mut free = self.free_hosts(host_map);
         match self.config.placement {
             PlacementPolicy::FirstFit => free.sort_by_key(|h| h.id),

@@ -142,6 +142,7 @@ fn eligible_neighbors(world: &WorldView<'_>, id: VehicleId, cfg: &ClusterConfig)
 ///
 /// Deterministic: score ties break by lower vehicle id.
 pub fn form_clusters(world: &WorldView<'_>, cfg: &ClusterConfig) -> Clustering {
+    let _form = vc_obs::profile::frame("cluster.form");
     let n = world.len();
     let mut head_of: Vec<Option<VehicleId>> = vec![None; n];
     // Rank candidates by score (desc), id (asc).

@@ -108,6 +108,7 @@ impl<'a, P: RoutingProtocol> NetSim<'a, P> {
     }
 
     fn round(&mut self, mut rec: Option<&mut Recorder>) {
+        let _round = vc_obs::profile::frame("routing.round");
         self.scenario.tick();
         self.now += vc_sim::time::SimDuration::from_secs_f64(self.scenario.dt);
         let positions = self.scenario.fleet.positions();
@@ -125,7 +126,9 @@ impl<'a, P: RoutingProtocol> NetSim<'a, P> {
 
         let mut new_copies: Vec<Copy> = Vec::new();
         let mut surviving: Vec<Copy> = Vec::new();
-        // Drain copies; process each.
+        // Drain copies; process each (delivery attempts + protocol
+        // forwarding — the round's radio-bound hot loop).
+        let _delivery = vc_obs::profile::frame("radio.delivery");
         let copies = std::mem::take(&mut self.copies);
         for copy in copies {
             let state = &self.packets[copy.packet_idx];

@@ -14,6 +14,10 @@
 //! * [`MetricsHub`] — a registry of counters, gauges, and fixed-bucket
 //!   log-scale [`Histogram`]s under hierarchical `component.metric` names,
 //!   with a snapshot-diff API for measuring deltas over a phase of a run.
+//! * [`profile::Profiler`] — the wall-clock half: scoped RAII frames
+//!   aggregated into a call tree with `profile.json` and collapsed-stack
+//!   (flamegraph) exports. Traces stay sim-time-only and byte-reproducible;
+//!   the profiler is where real nanoseconds are accounted.
 //!
 //! Instrumentation hooks throughout the workspace take
 //! `Option<&mut Recorder>`: passing `None` reduces every hook to a branch,
@@ -38,6 +42,7 @@
 #![forbid(unsafe_code)]
 
 pub mod metrics;
+pub mod profile;
 pub mod record;
 
 pub use metrics::{Histogram, MetricsHub, Snapshot, SnapshotDiff};

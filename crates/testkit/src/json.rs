@@ -255,12 +255,30 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                             .get(*pos + 1..*pos + 5)
                             .ok_or_else(|| "truncated \\u escape".to_owned())?;
                         let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
-                        let code =
+                        let mut code =
                             u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape digits")?;
-                        // Surrogates are not emitted by this writer; map them
-                        // to the replacement character rather than erroring.
-                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                         *pos += 4;
+                        // This writer never emits surrogates, but external
+                        // writers encode non-BMP characters as \u pairs:
+                        // combine a valid high+low pair, and map any lone
+                        // surrogate to the replacement character rather
+                        // than erroring.
+                        if (0xD800..0xDC00).contains(&code) {
+                            let low = bytes
+                                .get(*pos + 1..*pos + 7)
+                                .filter(|rest| rest.starts_with(b"\\u"))
+                                .and_then(|rest| std::str::from_utf8(&rest[2..]).ok())
+                                .and_then(|hex| u32::from_str_radix(hex, 16).ok())
+                                .filter(|low| (0xDC00..0xE000).contains(low));
+                            match low {
+                                Some(low) => {
+                                    code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                    *pos += 6;
+                                }
+                                None => code = 0xFFFD,
+                            }
+                        }
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                     }
                     _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
                 }
@@ -481,5 +499,70 @@ mod tests {
         let doc = Json::object([("z", Json::Null), ("a", Json::Null)]);
         let s = doc.to_string_compact();
         assert!(s.find("\"z\"").unwrap() < s.find("\"a\"").unwrap());
+    }
+
+    #[test]
+    fn parse_decodes_escaped_strings() {
+        let doc = Json::parse(r#""a\"b\\c\/d\b\f\n\r\t""#).expect("escapes parse");
+        assert_eq!(doc.as_str(), Some("a\"b\\c/d\u{8}\u{c}\n\r\t"));
+        // \uXXXX escapes, including a surrogate pair and a lone surrogate
+        // (which decodes to the replacement character rather than erroring).
+        assert_eq!(Json::parse("\"\\u00e9\\u0001\"").unwrap().as_str(), Some("\u{e9}\u{1}"));
+        assert_eq!(Json::parse("\"\\ud83d\\ude00\"").unwrap().as_str(), Some("\u{1f600}"));
+        assert_eq!(Json::parse(r#""\ud83d x""#).unwrap().as_str(), Some("\u{fffd} x"));
+        assert!(Json::parse(r#""\uZZZZ""#).is_err(), "non-hex escape digits");
+        assert!(Json::parse(r#""\q""#).is_err(), "unknown escape");
+    }
+
+    #[test]
+    fn parse_handles_nested_empty_containers() {
+        let doc = Json::parse(r#"{"a":{},"b":[[],{}],"c":[{"d":[]}]}"#).expect("parses");
+        assert_eq!(doc["a"], Json::object::<&str>([]));
+        assert_eq!(doc["b"][0], Json::Arr(vec![]));
+        assert_eq!(doc["b"][1], Json::object::<&str>([]));
+        assert_eq!(doc["c"][0]["d"], Json::Arr(vec![]));
+        assert_eq!(Json::parse(&doc.to_string_compact()).expect("round trip"), doc);
+    }
+
+    #[test]
+    fn parse_handles_boundary_numbers() {
+        // Integers survive up to the f64 exact-integer limit (2^53).
+        let max_exact = (1i64 << 53) - 1;
+        let doc = Json::parse(&max_exact.to_string()).expect("2^53-1 parses");
+        assert_eq!(doc.as_f64(), Some(max_exact as f64));
+        assert_eq!(doc.to_string_compact(), max_exact.to_string());
+        let min_exact = -max_exact;
+        assert_eq!(
+            Json::parse(&min_exact.to_string()).unwrap().to_string_compact(),
+            min_exact.to_string()
+        );
+        // i64::MAX is beyond 2^53: the value parses (as the nearest f64)
+        // even though it can no longer render digit-identically.
+        assert_eq!(
+            Json::parse("9223372036854775807").unwrap().as_f64(),
+            Some(9.223372036854776e18)
+        );
+        // f64 extremes and exponent forms.
+        assert_eq!(Json::parse("1.7976931348623157e308").unwrap().as_f64(), Some(f64::MAX));
+        assert_eq!(Json::parse("-1.7976931348623157E308").unwrap().as_f64(), Some(f64::MIN));
+        assert_eq!(
+            Json::parse("5e-324").unwrap().as_f64(),
+            Some(f64::MIN_POSITIVE * 2f64.powi(-52))
+        );
+        assert_eq!(Json::parse("-0.0").unwrap().as_f64(), Some(0.0));
+        assert_eq!(Json::parse("2.5e2").unwrap().as_f64(), Some(250.0));
+    }
+
+    #[test]
+    fn parse_rejects_trailing_garbage() {
+        assert!(Json::parse("{} {}").is_err());
+        assert!(Json::parse("[1,2] x").is_err());
+        assert!(Json::parse("true false").is_err());
+        assert!(Json::parse("\"a\"b").is_err());
+        assert!(Json::parse("1,").is_err());
+        // Trailing whitespace (including the newline a JSONL reader might
+        // leave attached) is not garbage.
+        assert!(Json::parse("{\"a\":1} \n").is_ok());
+        assert!(Json::parse(" \t[1] ").is_ok());
     }
 }
