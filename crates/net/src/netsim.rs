@@ -10,7 +10,9 @@ use crate::routing::RoutingProtocol;
 use crate::world::WorldView;
 use std::collections::HashSet;
 use vc_obs::{as_probe, reborrow, Recorder};
+use vc_sim::geom::{Point, SpatialGrid};
 use vc_sim::node::VehicleId;
+use vc_sim::radio::NeighborTable;
 use vc_sim::scenario::Scenario;
 use vc_sim::time::SimTime;
 
@@ -41,11 +43,23 @@ pub struct NetSim<'a, P: RoutingProtocol> {
     stats: RoutingStats,
     next_id: u64,
     now: SimTime,
+    /// Neighbor table and spatial grid reused across rounds (CSR storage and
+    /// grid buckets are rebuilt in place each round instead of reallocated).
+    table: NeighborTable,
+    grid: SpatialGrid,
+    /// Per-round world-view scratch, likewise reused.
+    pos_buf: Vec<Point>,
+    vel_buf: Vec<Point>,
+    online_buf: Vec<bool>,
 }
 
 impl<'a, P: RoutingProtocol> NetSim<'a, P> {
     /// Creates a simulation over an existing scenario.
     pub fn new(scenario: &'a mut Scenario, protocol: P) -> Self {
+        // Cell size only affects query cost, never results, so sizing it
+        // once from the current channel range is safe even if the range is
+        // later mutated between rounds.
+        let grid = SpatialGrid::new(scenario.channel.range_m.max(1.0));
         NetSim {
             scenario,
             protocol,
@@ -54,6 +68,11 @@ impl<'a, P: RoutingProtocol> NetSim<'a, P> {
             stats: RoutingStats::default(),
             next_id: 0,
             now: SimTime::ZERO,
+            table: NeighborTable::new(),
+            grid,
+            pos_buf: Vec::new(),
+            vel_buf: Vec::new(),
+            online_buf: Vec::new(),
         }
     }
 
@@ -111,16 +130,29 @@ impl<'a, P: RoutingProtocol> NetSim<'a, P> {
         let _round = vc_obs::profile::frame("routing.round");
         self.scenario.tick();
         self.now += vc_sim::time::SimDuration::from_secs_f64(self.scenario.dt);
-        let positions = self.scenario.fleet.positions();
-        let velocities: Vec<_> =
-            self.scenario.fleet.vehicles().iter().map(|v| v.kinematics.velocity).collect();
-        let online: Vec<bool> = self.scenario.fleet.vehicles().iter().map(|v| v.online).collect();
-        let neighbors = self.scenario.neighbor_table();
+        self.pos_buf.clear();
+        self.vel_buf.clear();
+        self.online_buf.clear();
+        for v in self.scenario.fleet.vehicles() {
+            self.pos_buf.push(v.kinematics.pos);
+            self.vel_buf.push(v.kinematics.velocity);
+            self.online_buf.push(v.online);
+        }
+        {
+            let _grid = vc_obs::profile::frame("grid.query");
+            self.table.rebuild(
+                &mut self.grid,
+                &self.pos_buf,
+                &self.online_buf,
+                self.scenario.channel.range_m,
+            );
+        }
+        let neighbors = &self.table;
         let world = WorldView {
-            positions: &positions,
-            velocities: &velocities,
-            online: &online,
-            neighbors: &neighbors,
+            positions: &self.pos_buf,
+            velocities: &self.vel_buf,
+            online: &self.online_buf,
+            neighbors,
         };
         self.protocol.begin_round(&world);
 

@@ -310,7 +310,11 @@ impl RoutingProtocol for StreetAware {
         let dest_pos = world.pos(packet.dst);
         // Waypoint: the next intersection along the road path toward the
         // destination's nearest intersection.
-        let target = match (self.net.nearest_node(my_pos), self.net.nearest_node(dest_pos)) {
+        let anchors = {
+            let _nearest = vc_obs::profile::frame("roadnet.nearest");
+            (self.net.nearest_node(my_pos), self.net.nearest_node(dest_pos))
+        };
+        let target = match anchors {
             (Some(here), Some(there)) if here != there => {
                 match self.net.shortest_path(here, there) {
                     Some(path) if path.len() >= 2 => {

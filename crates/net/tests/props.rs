@@ -51,6 +51,41 @@ fn world_pair() -> FromFn<impl Fn(&mut SimRng) -> (World, World)> {
 prop! {
     #![cases(64)]
 
+    // The CSR NeighborTable must equal the old nested-Vec build: per vehicle
+    // a sorted list of the online others strictly within range, empty for
+    // offline vehicles. Both the fresh build and an in-place rebuild over a
+    // dirty grid/table are checked against a brute-force reference.
+    #[test]
+    fn neighbor_table_matches_naive_reference(w in world_strategy(40)) {
+        let range = 300.0;
+        let table = NeighborTable::build(&w.positions, &w.online, range);
+        let mut reused = NeighborTable::new();
+        // Deliberately mismatched cell size and pre-polluted buckets: the
+        // result may not depend on either.
+        let mut grid = vc_sim::geom::SpatialGrid::new(145.0);
+        grid.insert(9999, Point::new(0.0, 0.0));
+        reused.rebuild(&mut grid, &w.positions, &w.online, range);
+        let n = w.positions.len();
+        prop_assert_eq!(table.len(), n);
+        prop_assert_eq!(reused.len(), n);
+        for i in 0..n {
+            let id = VehicleId(i as u32);
+            let mut expect: Vec<VehicleId> = Vec::new();
+            if w.online[i] {
+                for j in 0..n {
+                    if j != i
+                        && w.online[j]
+                        && w.positions[j].distance_sq(w.positions[i]) < range * range
+                    {
+                        expect.push(VehicleId(j as u32));
+                    }
+                }
+            }
+            prop_assert_eq!(table.of(id), expect.as_slice());
+            prop_assert_eq!(reused.of(id), expect.as_slice());
+        }
+    }
+
     // Clustering invariants: every online vehicle gets a head; heads head
     // themselves; members lists are consistent; offline vehicles excluded.
     #[test]

@@ -247,6 +247,11 @@ impl SpatialGrid {
         SpatialGrid { cell_size, cells: std::collections::HashMap::new() }
     }
 
+    /// Cell side length in meters, as passed to [`SpatialGrid::new`].
+    pub fn cell_size(&self) -> f64 {
+        self.cell_size
+    }
+
     fn key(&self, p: Point) -> (i64, i64) {
         ((p.x / self.cell_size).floor() as i64, (p.y / self.cell_size).floor() as i64)
     }
@@ -263,7 +268,8 @@ impl SpatialGrid {
         }
     }
 
-    /// Rebuilds the grid from an iterator of positions (index = iteration order).
+    /// Rebuilds the grid from an iterator of positions (index = iteration
+    /// order), reusing previously allocated buckets.
     pub fn rebuild<I: IntoIterator<Item = Point>>(&mut self, positions: I) {
         self.clear();
         for (i, p) in positions.into_iter().enumerate() {
@@ -271,10 +277,18 @@ impl SpatialGrid {
         }
     }
 
-    /// All item indices strictly within `radius` of `center` (excluding
-    /// entries at distance exactly ≥ radius).
-    pub fn within(&self, center: Point, radius: f64) -> Vec<usize> {
-        let mut out = Vec::new();
+    /// Calls `visit(index, pos)` for every item strictly within `radius` of
+    /// `center`, in deterministic (cell-scan, then insertion) order. This is
+    /// the allocation-free core of [`SpatialGrid::within`]; hot per-round
+    /// loops should prefer it (or [`SpatialGrid::within_into`]).
+    ///
+    /// A non-finite or non-positive `radius` visits nothing: a negative or
+    /// NaN radius is a caller bug, and an infinite one would otherwise
+    /// degenerate into scanning unbounded cell ranges.
+    pub fn for_each_within(&self, center: Point, radius: f64, mut visit: impl FnMut(usize, Point)) {
+        if !radius.is_finite() || radius <= 0.0 {
+            return;
+        }
         let r_cells = (radius / self.cell_size).ceil() as i64;
         let (cx, cy) = self.key(center);
         let r_sq = radius * radius;
@@ -283,12 +297,28 @@ impl SpatialGrid {
                 if let Some(bucket) = self.cells.get(&(cx + dx, cy + dy)) {
                     for &(idx, pos) in bucket {
                         if pos.distance_sq(center) < r_sq {
-                            out.push(idx);
+                            visit(idx, pos);
                         }
                     }
                 }
             }
         }
+    }
+
+    /// Appends the indices of every item strictly within `radius` of
+    /// `center` to `out` without clearing it — callers own the buffer so a
+    /// per-round query loop reuses one allocation.
+    pub fn within_into(&self, center: Point, radius: f64, out: &mut Vec<usize>) {
+        self.for_each_within(center, radius, |idx, _| out.push(idx));
+    }
+
+    /// All item indices strictly within `radius` of `center` (excluding
+    /// entries at distance exactly ≥ radius). Allocates a fresh `Vec`; see
+    /// [`SpatialGrid::within_into`] / [`SpatialGrid::for_each_within`] for
+    /// the reusable forms.
+    pub fn within(&self, center: Point, radius: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.within_into(center, radius, &mut out);
         out
     }
 }
@@ -388,6 +418,48 @@ mod tests {
             got.sort();
             assert_eq!(got, expected);
         }
+    }
+
+    #[test]
+    fn spatial_grid_visitor_and_buffer_forms_match_within() {
+        use crate::rng::SimRng;
+        let mut rng = SimRng::seed_from(23);
+        let pts: Vec<Point> = (0..200)
+            .map(|_| Point::new(rng.range_f64(0.0, 500.0), rng.range_f64(0.0, 500.0)))
+            .collect();
+        let mut grid = SpatialGrid::new(60.0);
+        grid.rebuild(pts.iter().copied());
+        let center = Point::new(250.0, 250.0);
+        let expected = grid.within(center, 120.0);
+        let mut buffered = Vec::new();
+        grid.within_into(center, 120.0, &mut buffered);
+        assert_eq!(buffered, expected);
+        let mut visited = Vec::new();
+        grid.for_each_within(center, 120.0, |idx, pos| {
+            assert_eq!(pos, pts[idx]);
+            visited.push(idx);
+        });
+        assert_eq!(visited, expected);
+        // within_into appends without clearing: the caller owns the buffer.
+        grid.within_into(center, 120.0, &mut buffered);
+        assert_eq!(buffered.len(), expected.len() * 2);
+    }
+
+    #[test]
+    fn spatial_grid_rejects_pathological_radii() {
+        let mut grid = SpatialGrid::new(10.0);
+        grid.insert(0, Point::new(1.0, 1.0));
+        let center = Point::new(0.0, 0.0);
+        // A negative radius used to probe the center cell with a positive
+        // r² (bogus hits); NaN and ±inf produced nonsense cell ranges.
+        for bad in [-5.0, 0.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(grid.within(center, bad).is_empty(), "radius {bad} must match nothing");
+            let mut visited = 0;
+            grid.for_each_within(center, bad, |_, _| visited += 1);
+            assert_eq!(visited, 0, "radius {bad} must visit nothing");
+        }
+        // Sanity: a real radius still works.
+        assert_eq!(grid.within(center, 5.0), vec![0]);
     }
 
     #[test]

@@ -204,11 +204,27 @@ impl RsuNetwork {
         &mut self.rsus[id.0 as usize]
     }
 
-    /// The nearest online RSU covering `pos`, if any.
+    /// The nearest online RSU covering `pos`, if any (ties go to the lowest
+    /// id, as `Iterator::min_by` keeps the first minimal element).
     pub fn covering(&self, pos: Point) -> Option<&Rsu> {
-        self.rsus.iter().filter(|r| r.online && r.pos.distance(pos) <= r.range_m).min_by(|a, b| {
-            a.pos.distance_sq(pos).partial_cmp(&b.pos.distance_sq(pos)).expect("finite")
-        })
+        // One distance_sq per RSU: the old filter took a square root per
+        // candidate and the comparator then recomputed both squared
+        // distances. `d2 <= range²` selects the same set as `d <= range`.
+        let mut best: Option<(f64, &Rsu)> = None;
+        for r in &self.rsus {
+            if !r.online {
+                continue;
+            }
+            let d2 = r.pos.distance_sq(pos);
+            if d2 > r.range_m * r.range_m {
+                continue;
+            }
+            match best {
+                Some((bd2, _)) if d2 >= bd2 => {}
+                _ => best = Some((d2, r)),
+            }
+        }
+        best.map(|(_, r)| r)
     }
 
     /// Fraction of RSUs currently online.
@@ -277,46 +293,86 @@ impl Cellular {
 }
 
 /// A snapshot of who can hear whom, rebuilt each protocol round.
+///
+/// Stored in CSR (compressed sparse row) layout: one flat `Vec<VehicleId>`
+/// plus per-vehicle offsets, so rebuilding touches two growable buffers
+/// instead of allocating one `Vec` per vehicle per round. Each vehicle's
+/// slice is sorted ascending, so the layout choice is invisible through
+/// [`NeighborTable::of`].
 #[derive(Debug, Clone)]
 pub struct NeighborTable {
-    neighbors: Vec<Vec<VehicleId>>,
+    /// `offsets[i]..offsets[i + 1]` bounds vehicle `i`'s slice of `flat`.
+    offsets: Vec<u32>,
+    flat: Vec<VehicleId>,
+}
+
+impl Default for NeighborTable {
+    fn default() -> Self {
+        NeighborTable::new()
+    }
 }
 
 impl NeighborTable {
+    /// An empty table over zero vehicles; fill it with
+    /// [`NeighborTable::rebuild`].
+    pub fn new() -> Self {
+        NeighborTable { offsets: vec![0], flat: Vec::new() }
+    }
+
     /// Builds the table from vehicle positions (id = index) and a channel
     /// range. Offline vehicles should be passed with a position but excluded
     /// via `online`.
     pub fn build(positions: &[Point], online: &[bool], range_m: f64) -> Self {
-        assert_eq!(positions.len(), online.len());
+        let mut table = NeighborTable::new();
         let mut grid = SpatialGrid::new(range_m.max(1.0));
+        table.rebuild(&mut grid, positions, online, range_m);
+        table
+    }
+
+    /// Rebuilds this table in place, reusing its flat storage and `grid`'s
+    /// buckets (the grid is cleared first, so it may carry entries from a
+    /// previous round). Produces exactly what [`NeighborTable::build`] does —
+    /// each slice is sorted, so the result is independent of the grid's cell
+    /// size and scan order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `positions` and `online` differ in length.
+    pub fn rebuild(
+        &mut self,
+        grid: &mut SpatialGrid,
+        positions: &[Point],
+        online: &[bool],
+        range_m: f64,
+    ) {
+        assert_eq!(positions.len(), online.len());
+        grid.clear();
         for (i, &p) in positions.iter().enumerate() {
             if online[i] {
                 grid.insert(i, p);
             }
         }
-        let neighbors = positions
-            .iter()
-            .enumerate()
-            .map(|(i, &p)| {
-                if !online[i] {
-                    return Vec::new();
-                }
-                let mut ns: Vec<VehicleId> = grid
-                    .within(p, range_m)
-                    .into_iter()
-                    .filter(|&j| j != i)
-                    .map(|j| VehicleId(j as u32))
-                    .collect();
-                ns.sort();
-                ns
-            })
-            .collect();
-        NeighborTable { neighbors }
+        self.offsets.clear();
+        self.offsets.push(0);
+        self.flat.clear();
+        for (i, &p) in positions.iter().enumerate() {
+            if online[i] {
+                let start = self.flat.len();
+                grid.for_each_within(p, range_m, |j, _| {
+                    if j != i {
+                        self.flat.push(VehicleId(j as u32));
+                    }
+                });
+                self.flat[start..].sort_unstable();
+            }
+            self.offsets.push(self.flat.len() as u32);
+        }
     }
 
-    /// Neighbors of a vehicle.
+    /// Neighbors of a vehicle, sorted ascending.
     pub fn of(&self, id: VehicleId) -> &[VehicleId] {
-        &self.neighbors[id.0 as usize]
+        let i = id.0 as usize;
+        &self.flat[self.offsets[i] as usize..self.offsets[i + 1] as usize]
     }
 
     /// Degree (neighbor count) of a vehicle.
@@ -326,20 +382,20 @@ impl NeighborTable {
 
     /// Mean degree over all vehicles.
     pub fn mean_degree(&self) -> f64 {
-        if self.neighbors.is_empty() {
+        if self.is_empty() {
             return 0.0;
         }
-        self.neighbors.iter().map(|n| n.len()).sum::<usize>() as f64 / self.neighbors.len() as f64
+        self.flat.len() as f64 / self.len() as f64
     }
 
     /// Number of vehicles tracked.
     pub fn len(&self) -> usize {
-        self.neighbors.len()
+        self.offsets.len() - 1
     }
 
     /// `true` when the table is empty.
     pub fn is_empty(&self) -> bool {
-        self.neighbors.is_empty()
+        self.len() == 0
     }
 }
 
@@ -521,6 +577,39 @@ mod tests {
         assert_eq!(table.of(VehicleId(1)), &[VehicleId(0)]);
         assert!(table.of(VehicleId(2)).is_empty());
         assert!((table.mean_degree() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neighbor_table_rebuild_matches_build() {
+        let mut rng = SimRng::seed_from(9);
+        let mut table = NeighborTable::new();
+        assert!(table.is_empty());
+        let mut grid = SpatialGrid::new(300.0);
+        // Rebuild over successive random worlds: stale grid buckets and
+        // stale flat storage must not leak into the next round's table.
+        for round in 0..5 {
+            let n = 30 + round * 17;
+            let positions: Vec<Point> = (0..n)
+                .map(|_| Point::new(rng.range_f64(0.0, 1500.0), rng.range_f64(0.0, 1500.0)))
+                .collect();
+            let online: Vec<bool> = (0..n).map(|i| i % 7 != 0).collect();
+            table.rebuild(&mut grid, &positions, &online, 300.0);
+            let fresh = NeighborTable::build(&positions, &online, 300.0);
+            assert_eq!(table.len(), fresh.len());
+            for i in 0..n {
+                assert_eq!(table.of(VehicleId(i as u32)), fresh.of(VehicleId(i as u32)));
+            }
+            assert_eq!(table.mean_degree(), fresh.mean_degree());
+        }
+    }
+
+    #[test]
+    fn rsu_covering_tie_prefers_lowest_id() {
+        let mut net = RsuNetwork::new();
+        let a = net.add(Point::new(0.0, 0.0), 500.0);
+        let _b = net.add(Point::new(200.0, 0.0), 500.0);
+        // Equidistant from both masts: min_by semantics keep the first.
+        assert_eq!(net.covering(Point::new(100.0, 0.0)).unwrap().id, a);
     }
 
     #[test]

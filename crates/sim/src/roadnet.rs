@@ -5,9 +5,19 @@
 //! highway corridor, and helpers for path finding that the mobility models
 //! drive over.
 
-use crate::geom::Point;
+use crate::geom::{Point, Segment};
 use crate::rng::SimRng;
 use std::collections::BinaryHeap;
+use std::sync::OnceLock;
+
+/// `VC_ROADNET_LINEAR=1` forces the linear-scan reference paths for
+/// [`RoadNetwork::nearest_node`] / [`RoadNetwork::distance_to_nearest_road`]
+/// — the escape hatch the CI determinism spot-check uses to prove the
+/// spatial index changes no output byte. Read once per process.
+fn linear_forced() -> bool {
+    static FORCED: OnceLock<bool> = OnceLock::new();
+    *FORCED.get_or_init(|| std::env::var("VC_ROADNET_LINEAR").map(|v| v == "1").unwrap_or(false))
+}
 
 /// Identifier of an intersection in a [`RoadNetwork`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -56,6 +66,9 @@ pub struct RoadNetwork {
     roads: Vec<Road>,
     /// adjacency[node] = outgoing road ids.
     adjacency: Vec<Vec<RoadId>>,
+    /// Lazily built spatial index over intersections and segments;
+    /// invalidated by any mutation.
+    index: OnceLock<RoadIndex>,
 }
 
 impl RoadNetwork {
@@ -66,6 +79,7 @@ impl RoadNetwork {
 
     /// Adds an intersection at `pos` and returns its id.
     pub fn add_intersection(&mut self, pos: Point) -> NodeId {
+        self.index.take();
         let id = NodeId(self.intersections.len());
         self.intersections.push(Intersection { id, pos });
         self.adjacency.push(Vec::new());
@@ -79,6 +93,7 @@ impl RoadNetwork {
     /// Panics if either endpoint does not exist, the endpoints coincide, the
     /// speed limit is not positive, or `lanes` is zero.
     pub fn add_road(&mut self, from: NodeId, to: NodeId, speed_limit: f64, lanes: u8) -> RoadId {
+        self.index.take();
         assert!(from.0 < self.intersections.len(), "unknown from-node");
         assert!(to.0 < self.intersections.len(), "unknown to-node");
         assert_ne!(from, to, "self-loop road");
@@ -133,11 +148,97 @@ impl RoadNetwork {
     }
 
     /// The intersection nearest to `p` (None for an empty network).
+    ///
+    /// Served by the lazily built [`RoadIndex`]; bit-for-bit equal to
+    /// [`Self::nearest_node_linear`] (same `distance_sq` comparisons, ties
+    /// broken toward the lowest id exactly as `Iterator::min_by` keeps the
+    /// first minimal element).
     pub fn nearest_node(&self, p: Point) -> Option<NodeId> {
+        if self.intersections.is_empty() {
+            return None;
+        }
+        if linear_forced() {
+            return self.nearest_node_linear(p);
+        }
+        self.nearest_node_indexed(p)
+    }
+
+    /// Linear-scan reference for [`Self::nearest_node`]. Kept as the
+    /// equivalence oracle for property tests and the `VC_ROADNET_LINEAR`
+    /// escape hatch.
+    pub fn nearest_node_linear(&self, p: Point) -> Option<NodeId> {
         self.intersections
             .iter()
             .min_by(|a, b| a.pos.distance_sq(p).partial_cmp(&b.pos.distance_sq(p)).expect("finite"))
             .map(|i| i.id)
+    }
+
+    /// The lazily built spatial index (field and method share the name; Rust
+    /// keeps fields and methods in separate namespaces).
+    fn index(&self) -> &RoadIndex {
+        self.index.get_or_init(|| RoadIndex::build(&self.intersections, &self.roads))
+    }
+
+    fn nearest_node_indexed(&self, p: Point) -> Option<NodeId> {
+        let idx = self.index();
+        let (qx, qy) = idx.cell_of(p);
+        let (k0, kmax) = idx.ring_bounds(qx, qy);
+        let mut best: Option<(f64, NodeId)> = None;
+        for k in k0..=kmax {
+            if let Some((bd2, _)) = best {
+                // Every point in a ring-k cell is at least (k-1) cell widths
+                // from `p`; keep one extra cell of slack so floating-point
+                // rounding can never skip a candidate or an exact tie.
+                let lb = ((k - 2).max(0)) as f64 * idx.cell_size;
+                if lb * lb > bd2 {
+                    break;
+                }
+            }
+            idx.for_each_ring_bucket(qx, qy, k, |bucket| {
+                for &ni in &idx.node_cells[bucket] {
+                    let node = &self.intersections[ni as usize];
+                    let d2 = node.pos.distance_sq(p);
+                    match best {
+                        None => best = Some((d2, node.id)),
+                        Some((bd2, bid)) => {
+                            if d2 < bd2 || (d2 == bd2 && node.id < bid) {
+                                best = Some((d2, node.id));
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        best.map(|(_, id)| id)
+    }
+
+    fn nearest_road_dist_indexed(&self, p: Point) -> f64 {
+        let idx = self.index();
+        let (qx, qy) = idx.cell_of(p);
+        let (k0, kmax) = idx.ring_bounds(qx, qy);
+        let mut best = f64::INFINITY;
+        for k in k0..=kmax {
+            if best.is_finite() {
+                // A segment first registered in a ring-k cell lies entirely in
+                // cells at ring >= k, hence at least (k-1) cell widths away;
+                // (k-2) leaves a full cell of fp slack. Segments already seen
+                // in nearer rings contributed their exact global distance.
+                let lb = ((k - 2).max(0)) as f64 * idx.cell_size;
+                if lb > best {
+                    break;
+                }
+            }
+            idx.for_each_ring_bucket(qx, qy, k, |bucket| {
+                for &ri in &idx.road_cells[bucket] {
+                    let r = &self.roads[ri as usize];
+                    let d = Segment::new(self.pos(r.from), self.pos(r.to)).distance_to(p);
+                    if d < best {
+                        best = d;
+                    }
+                }
+            });
+        }
+        best
     }
 
     /// A uniformly random intersection (None for an empty network).
@@ -274,10 +375,160 @@ impl RoadNetwork {
     /// radio obstruction model: points far from every street are "inside a
     /// building block".
     pub fn distance_to_nearest_road(&self, p: Point) -> f64 {
+        if self.roads.is_empty() {
+            return f64::INFINITY;
+        }
+        if linear_forced() {
+            return self.distance_to_nearest_road_linear(p);
+        }
+        self.nearest_road_dist_indexed(p)
+    }
+
+    /// Linear-scan reference for [`Self::distance_to_nearest_road`]. Kept as
+    /// the equivalence oracle for property tests and `VC_ROADNET_LINEAR`.
+    pub fn distance_to_nearest_road_linear(&self, p: Point) -> f64 {
         self.roads
             .iter()
-            .map(|r| crate::geom::Segment::new(self.pos(r.from), self.pos(r.to)).distance_to(p))
+            .map(|r| Segment::new(self.pos(r.from), self.pos(r.to)).distance_to(p))
             .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Uniform spatial grid over a road network's intersections and segments.
+///
+/// Built lazily by `RoadNetwork::index` and dropped on any mutation. Queries
+/// run an expanding ring search outward from the query cell; the
+/// floating-point comparisons are the same ones the linear scans make, and
+/// the ring lower bound keeps a full cell of slack, so results are
+/// bit-for-bit identical to the retained `*_linear` references.
+#[derive(Debug, Clone)]
+struct RoadIndex {
+    cell_size: f64,
+    /// Grid origin: bounding-box minimum over all intersections.
+    min: Point,
+    nx: i64,
+    ny: i64,
+    /// Row-major buckets of intersection indices.
+    node_cells: Vec<Vec<u32>>,
+    /// Row-major buckets of road indices whose segment bounding box covers
+    /// the cell (an over-approximation: duplicates across cells are harmless
+    /// because the distance fold is idempotent).
+    road_cells: Vec<Vec<u32>>,
+}
+
+impl RoadIndex {
+    fn build(intersections: &[Intersection], roads: &[Road]) -> Self {
+        let mut min = Point::new(0.0, 0.0);
+        let mut max = Point::new(0.0, 0.0);
+        if let Some(first) = intersections.first() {
+            min = first.pos;
+            max = first.pos;
+            for i in &intersections[1..] {
+                min.x = min.x.min(i.pos.x);
+                min.y = min.y.min(i.pos.y);
+                max.x = max.x.max(i.pos.x);
+                max.y = max.y.max(i.pos.y);
+            }
+        }
+        let width = max.x - min.x;
+        let height = max.y - min.y;
+        let span = width.max(height).max(1.0);
+        // Aim for O(1) entries per cell, but never more than 512 cells per
+        // axis so tiny dense maps don't explode the bucket table.
+        let n = (intersections.len() + roads.len()).max(1) as f64;
+        let cell_size = (span / n.sqrt()).clamp(span / 512.0, span);
+        let nx = (width / cell_size).floor() as i64 + 1;
+        let ny = (height / cell_size).floor() as i64 + 1;
+        let mut idx = RoadIndex {
+            cell_size,
+            min,
+            nx,
+            ny,
+            node_cells: vec![Vec::new(); (nx * ny) as usize],
+            road_cells: vec![Vec::new(); (nx * ny) as usize],
+        };
+        for i in intersections {
+            let (cx, cy) = idx.cell_clamped(i.pos);
+            let bucket = idx.bucket(cx, cy);
+            idx.node_cells[bucket].push(i.id.0 as u32);
+        }
+        for r in roads {
+            let (ax, ay) = idx.cell_clamped(intersections[r.from.0].pos);
+            let (bx, by) = idx.cell_clamped(intersections[r.to.0].pos);
+            for cy in ay.min(by)..=ay.max(by) {
+                for cx in ax.min(bx)..=ax.max(bx) {
+                    let bucket = idx.bucket(cx, cy);
+                    idx.road_cells[bucket].push(r.id.0 as u32);
+                }
+            }
+        }
+        idx
+    }
+
+    fn cell_of(&self, p: Point) -> (i64, i64) {
+        (
+            ((p.x - self.min.x) / self.cell_size).floor() as i64,
+            ((p.y - self.min.y) / self.cell_size).floor() as i64,
+        )
+    }
+
+    fn cell_clamped(&self, p: Point) -> (i64, i64) {
+        let (x, y) = self.cell_of(p);
+        (x.clamp(0, self.nx - 1), y.clamp(0, self.ny - 1))
+    }
+
+    fn bucket(&self, cx: i64, cy: i64) -> usize {
+        (cy * self.nx + cx) as usize
+    }
+
+    /// First ring that intersects the valid cell range (Chebyshev distance
+    /// from the unclamped query cell) and the last ring that does.
+    fn ring_bounds(&self, qx: i64, qy: i64) -> (i64, i64) {
+        let dx = if qx < 0 {
+            -qx
+        } else if qx >= self.nx {
+            qx - self.nx + 1
+        } else {
+            0
+        };
+        let dy = if qy < 0 {
+            -qy
+        } else if qy >= self.ny {
+            qy - self.ny + 1
+        } else {
+            0
+        };
+        let kx = qx.abs().max((qx - (self.nx - 1)).abs());
+        let ky = qy.abs().max((qy - (self.ny - 1)).abs());
+        (dx.max(dy), kx.max(ky))
+    }
+
+    /// Visits every in-range bucket at Chebyshev ring `k` around `(qx, qy)`.
+    fn for_each_ring_bucket(&self, qx: i64, qy: i64, k: i64, mut visit: impl FnMut(usize)) {
+        if k == 0 {
+            if qx >= 0 && qx < self.nx && qy >= 0 && qy < self.ny {
+                visit(self.bucket(qx, qy));
+            }
+            return;
+        }
+        let x0 = (qx - k).max(0);
+        let x1 = (qx + k).min(self.nx - 1);
+        for iy in [qy - k, qy + k] {
+            if iy >= 0 && iy < self.ny && x0 <= x1 {
+                for ix in x0..=x1 {
+                    visit(self.bucket(ix, iy));
+                }
+            }
+        }
+        let y0 = (qy - k + 1).max(0);
+        let y1 = (qy + k - 1).min(self.ny - 1);
+        for ix in [qx - k, qx + k] {
+            if ix >= 0 && ix < self.nx && y0 <= y1 {
+                for iy in y0..=y1 {
+                    visit(self.bucket(ix, iy));
+                }
+            }
+        }
     }
 }
 
@@ -382,6 +633,69 @@ mod tests {
     fn road_lengths_sum() {
         let net = RoadNetwork::grid(2, 1, 100.0, 10.0);
         assert!((net.total_road_length() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn index_matches_linear_on_grid() {
+        let net = RoadNetwork::grid(6, 6, 100.0, 13.9);
+        let mut rng = SimRng::seed_from(11);
+        let mut probes: Vec<Point> = (0..200)
+            .map(|_| Point::new(rng.range_f64(-400.0, 900.0), rng.range_f64(-400.0, 900.0)))
+            .collect();
+        // On-node, block-center, and far-away probes stress exact ties and
+        // the out-of-grid ring start.
+        probes.push(net.pos(NodeId(0)));
+        probes.push(net.pos(NodeId(35)));
+        probes.push(Point::new(250.0, 250.0));
+        probes.push(Point::new(1e6, -1e6));
+        for p in probes {
+            assert_eq!(net.nearest_node(p), net.nearest_node_linear(p), "node @ {p:?}");
+            let fast = net.distance_to_nearest_road(p);
+            let slow = net.distance_to_nearest_road_linear(p);
+            assert_eq!(fast.to_bits(), slow.to_bits(), "road dist @ {p:?}");
+        }
+    }
+
+    #[test]
+    fn index_matches_linear_on_highway() {
+        let net = RoadNetwork::highway(3000.0, 8, 33.3);
+        let mut rng = SimRng::seed_from(12);
+        for _ in 0..200 {
+            let p = Point::new(rng.range_f64(-500.0, 3500.0), rng.range_f64(-200.0, 200.0));
+            assert_eq!(net.nearest_node(p), net.nearest_node_linear(p));
+            let fast = net.distance_to_nearest_road(p);
+            let slow = net.distance_to_nearest_road_linear(p);
+            assert_eq!(fast.to_bits(), slow.to_bits());
+        }
+    }
+
+    #[test]
+    fn index_invalidated_by_mutation() {
+        let mut net = RoadNetwork::grid(3, 3, 100.0, 10.0);
+        let probe = Point::new(149.0, 149.0);
+        assert_eq!(net.nearest_node(probe), Some(NodeId(4))); // forces index build
+        let near = net.add_intersection(Point::new(150.0, 150.0));
+        assert_eq!(net.nearest_node(probe), Some(near));
+        assert!(net.distance_to_nearest_road(probe) > 40.0);
+        let c = net.add_intersection(Point::new(150.0, 160.0));
+        net.add_road(near, c, 10.0, 1);
+        assert!(net.distance_to_nearest_road(probe) < 2.0);
+    }
+
+    #[test]
+    fn index_handles_degenerate_networks() {
+        let mut net = RoadNetwork::new();
+        let a = net.add_intersection(Point::new(7.0, -3.0));
+        assert_eq!(net.nearest_node(Point::new(1e5, 1e5)), Some(a));
+        assert_eq!(net.distance_to_nearest_road(Point::new(0.0, 0.0)), f64::INFINITY);
+        // Collinear (zero-height bounding box) network with one road.
+        let b = net.add_intersection(Point::new(107.0, -3.0));
+        net.add_road(a, b, 10.0, 1);
+        let p = Point::new(57.0, 40.0);
+        assert_eq!(
+            net.distance_to_nearest_road(p).to_bits(),
+            net.distance_to_nearest_road_linear(p).to_bits()
+        );
     }
 
     #[test]

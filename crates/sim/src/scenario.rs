@@ -1,7 +1,7 @@
 //! Ready-made scenarios combining a road network, fleet, radio, and
 //! infrastructure — one per regime the paper's Fig. 4 distinguishes.
 
-use crate::geom::Point;
+use crate::geom::{Point, SpatialGrid};
 use crate::mobility::Fleet;
 use crate::probe::Probe;
 use crate::radio::{Cellular, Channel, NeighborTable, RsuNetwork};
@@ -296,9 +296,20 @@ impl Scenario {
 
     /// Builds the current neighbor table from positions and channel range.
     pub fn neighbor_table(&self) -> NeighborTable {
+        let mut table = NeighborTable::new();
+        let mut grid = SpatialGrid::new(self.channel.range_m.max(1.0));
+        self.neighbor_table_into(&mut table, &mut grid);
+        table
+    }
+
+    /// [`Scenario::neighbor_table`] into caller-owned buffers: `table`'s CSR
+    /// storage and `grid`'s buckets are reused, so per-round callers stop
+    /// reallocating both. Produces exactly what [`Scenario::neighbor_table`]
+    /// returns.
+    pub fn neighbor_table_into(&self, table: &mut NeighborTable, grid: &mut SpatialGrid) {
         let positions = self.fleet.positions();
         let online: Vec<bool> = self.fleet.vehicles().iter().map(|v| v.online).collect();
-        NeighborTable::build(&positions, &online, self.channel.range_m)
+        table.rebuild(grid, &positions, &online, self.channel.range_m);
     }
 
     /// Measures neighbor churn over `ticks` steps: the mean number of
@@ -307,11 +318,14 @@ impl Scenario {
     /// in Fig. 2.
     pub fn neighbor_churn_per_minute(&mut self, ticks: usize) -> f64 {
         use std::collections::BTreeSet;
-        let mut prev: Vec<BTreeSet<u32>> = self.neighbor_table().len_iter().collect();
+        let mut table = NeighborTable::new();
+        let mut grid = SpatialGrid::new(self.channel.range_m.max(1.0));
+        self.neighbor_table_into(&mut table, &mut grid);
+        let mut prev: Vec<BTreeSet<u32>> = table.len_iter().collect();
         let mut changes = 0usize;
         for _ in 0..ticks {
             self.tick();
-            let table = self.neighbor_table();
+            self.neighbor_table_into(&mut table, &mut grid);
             for (i, set) in table.len_iter().enumerate() {
                 changes += set.symmetric_difference(&prev[i]).count();
                 prev[i] = set;

@@ -4,12 +4,38 @@ use vc_sim::event::EventQueue;
 use vc_sim::geom::{Point, Rect, Segment, SpatialGrid};
 use vc_sim::metrics::Summary;
 use vc_sim::rng::SimRng;
+use vc_sim::roadnet::{NodeId, RoadNetwork};
 use vc_sim::time::{SimDuration, SimTime};
 use vc_testkit::prop::strategy::{any_u64, from_fn, vec, FromFn};
 use vc_testkit::{prop, prop_assert, prop_assert_eq};
 
 fn pt() -> FromFn<impl Fn(&mut SimRng) -> Point> {
     from_fn(|rng| Point::new(rng.range_f64(-1e4, 1e4), rng.range_f64(-1e4, 1e4)))
+}
+
+/// A random road network: clustered intersections with random directed
+/// roads, including node-only and road-free degenerate shapes.
+fn roadnet() -> FromFn<impl Fn(&mut SimRng) -> RoadNetwork> {
+    from_fn(|rng| {
+        let n = rng.range_u64(1, 40) as usize;
+        let mut net = RoadNetwork::new();
+        for _ in 0..n {
+            net.add_intersection(Point::new(
+                rng.range_f64(-2000.0, 2000.0),
+                rng.range_f64(-2000.0, 2000.0),
+            ));
+        }
+        if n >= 2 {
+            for _ in 0..rng.range_u64(0, 80) {
+                let a = rng.index(n);
+                let b = rng.index(n);
+                if a != b {
+                    net.add_road(NodeId(a), NodeId(b), 13.9, 1);
+                }
+            }
+        }
+        net
+    })
 }
 
 prop! {
@@ -83,6 +109,40 @@ prop! {
             .collect();
         expect.sort();
         prop_assert_eq!(got, expect);
+    }
+
+    // ---- road index vs linear scan ----
+
+    // The spatial index must be invisible: same nearest node (ties included)
+    // and bit-identical nearest-road distances as the retained linear scans.
+    // Query points range far beyond the network bounding box to stress the
+    // expanding-ring start and termination.
+    #[test]
+    fn road_index_nearest_node_matches_linear(net in roadnet(), p in pt()) {
+        prop_assert_eq!(net.nearest_node(p), net.nearest_node_linear(p));
+    }
+
+    #[test]
+    fn road_index_nearest_road_matches_linear_bitwise(net in roadnet(), p in pt()) {
+        let fast = net.distance_to_nearest_road(p);
+        let slow = net.distance_to_nearest_road_linear(p);
+        prop_assert_eq!(fast.to_bits(), slow.to_bits());
+    }
+
+    // The three SpatialGrid query forms are one implementation: identical
+    // hits in identical order.
+    #[test]
+    fn grid_query_forms_agree(points in vec(pt(), 1..80),
+                              center in pt(), radius in 1.0f64..500.0) {
+        let mut grid = SpatialGrid::new(100.0);
+        grid.rebuild(points.iter().copied());
+        let direct = grid.within(center, radius);
+        let mut buffered = Vec::new();
+        grid.within_into(center, radius, &mut buffered);
+        prop_assert_eq!(&buffered, &direct);
+        let mut visited = Vec::new();
+        grid.for_each_within(center, radius, |i, _| visited.push(i));
+        prop_assert_eq!(&visited, &direct);
     }
 
     // ---- rng ----
