@@ -33,7 +33,7 @@ fn main() {
         let mut rng = SimRng::seed_from(2);
         let mut fleet = Fleet::urban(&net, n, &mut rng);
         suite.bench_elems(&format!("fleet/step/{n}"), n as u64, || {
-            fleet.step(0.5, &net, &mut rng);
+            fleet.step(0.5, &net);
             black_box(fleet.len())
         });
     }

@@ -1,10 +1,10 @@
-//! The experiment table generator: prints E1..E15 (see DESIGN.md §4).
+//! The experiment table generator: prints E1..E16 (see DESIGN.md §4).
 
 use std::io::Write;
 use vc_bench::experiments::registry;
 
 const USAGE: &str = "usage: experiments [--quick] [--seed N] [--json DIR] [--trace FILE] \
-     [--profile FILE] [--folded FILE] [--metrics] [--list] [e1..e15 ...]";
+     [--profile FILE] [--folded FILE] [--metrics] [--list] [e1..e16 ...]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -80,7 +80,7 @@ fn main() {
         .collect();
 
     if selected.is_empty() {
-        eprintln!("no experiments matched {wanted:?}; known: e1..e15 (see --list)");
+        eprintln!("no experiments matched {wanted:?}; known: e1..e16 (see --list)");
         std::process::exit(2);
     }
 

@@ -54,15 +54,14 @@ pub fn run(quick: bool, seed: u64, _rec: Option<&mut vc_obs::Recorder>) -> Table
         // Warm up mobility.
         scenario.run_ticks(20);
 
-        let mean_speed =
-            scenario.fleet.vehicles().iter().map(|v| v.kinematics.speed()).sum::<f64>()
-                / scenario.fleet.len() as f64;
+        let mean_speed = scenario.fleet.velocities().iter().map(|v| v.norm()).sum::<f64>()
+            / scenario.fleet.len() as f64;
 
         let covered = scenario
             .fleet
-            .vehicles()
+            .positions()
             .iter()
-            .filter(|v| scenario.rsus.covering(v.kinematics.pos).is_some())
+            .filter(|&&p| scenario.rsus.covering(p).is_some())
             .count() as f64
             / scenario.fleet.len() as f64;
 

@@ -46,16 +46,11 @@ pub fn run(quick: bool, seed: u64, _rec: Option<&mut vc_obs::Recorder>) -> Table
             let mut cluster_counts = Vec::new();
             for _ in 0..snapshots {
                 scenario.run_ticks(4);
-                let positions = scenario.fleet.positions();
-                let velocities: Vec<Point> =
-                    scenario.fleet.vehicles().iter().map(|v| v.kinematics.velocity).collect();
-                let online: Vec<bool> =
-                    scenario.fleet.vehicles().iter().map(|v| v.online).collect();
                 let table_nb = scenario.neighbor_table();
                 let world = WorldView {
-                    positions: &positions,
-                    velocities: &velocities,
-                    online: &online,
+                    positions: scenario.fleet.positions(),
+                    velocities: scenario.fleet.velocities(),
+                    online: scenario.fleet.online_flags(),
                     neighbors: &table_nb,
                 };
                 let next = match (&previous, maintained_mode) {

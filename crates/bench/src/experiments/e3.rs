@@ -101,7 +101,7 @@ pub fn run(quick: bool, seed: u64, mut rec: Option<&mut Recorder>) -> Table {
         let positions = scenario.fleet.positions();
         mode.gossip_round_obs(
             &table_nb,
-            &positions,
+            positions,
             &channel,
             &mut scenario.rng,
             OperatingMode::Emergency,
@@ -122,15 +122,11 @@ pub fn run(quick: bool, seed: u64, mut rec: Option<&mut Recorder>) -> Table {
     // clustering pass over the post-gossip world (§IV-A.2's dynamic
     // architecture forming without infrastructure).
     let gossip_end = SimTime::ZERO + SimDuration::from_secs_f64(rounds as f64 * scenario.dt);
-    let positions = scenario.fleet.positions();
-    let velocities: Vec<_> =
-        scenario.fleet.vehicles().iter().map(|v| v.kinematics.velocity).collect();
-    let online: Vec<bool> = scenario.fleet.vehicles().iter().map(|v| v.online).collect();
     let neighbors = scenario.neighbor_table();
     let world = WorldView {
-        positions: &positions,
-        velocities: &velocities,
-        online: &online,
+        positions: scenario.fleet.positions(),
+        velocities: scenario.fleet.velocities(),
+        online: scenario.fleet.online_flags(),
         neighbors: &neighbors,
     };
     let clustering = vc_net::cluster::form_clusters_obs(

@@ -115,16 +115,11 @@ pub fn run(quick: bool, seed: u64, mut rec: Option<&mut vc_obs::Recorder>) -> Ta
             let snapshots = 20;
             for _ in 0..snapshots {
                 scenario.run_ticks(4);
-                let positions = scenario.fleet.positions();
-                let velocities: Vec<_> =
-                    scenario.fleet.vehicles().iter().map(|v| v.kinematics.velocity).collect();
-                let online: Vec<bool> =
-                    scenario.fleet.vehicles().iter().map(|v| v.online).collect();
                 let nbr = scenario.neighbor_table();
                 let world = WorldView {
-                    positions: &positions,
-                    velocities: &velocities,
-                    online: &online,
+                    positions: scenario.fleet.positions(),
+                    velocities: scenario.fleet.velocities(),
+                    online: scenario.fleet.online_flags(),
                     neighbors: &nbr,
                 };
                 let clustering = vc_net::cluster::form_clusters(&world, &cfg);

@@ -1,4 +1,4 @@
-//! The per-experiment modules E1..E15 (see DESIGN.md §4 for the index).
+//! The per-experiment modules E1..E16 (see DESIGN.md §4 for the index).
 
 pub mod e1;
 pub mod e10;
@@ -7,6 +7,7 @@ pub mod e12;
 pub mod e13;
 pub mod e14;
 pub mod e15;
+pub mod e16;
 pub mod e2;
 pub mod e3;
 pub mod e4;
@@ -21,7 +22,7 @@ use vc_obs::Recorder;
 
 /// An experiment's id, one-line description, and runner.
 pub struct Experiment {
-    /// "e1" … "e15".
+    /// "e1" … "e16".
     pub id: &'static str,
     /// One-line description (shown by `experiments --list`).
     pub desc: &'static str,
@@ -91,6 +92,11 @@ pub fn registry() -> Vec<Experiment> {
             run: e14::run,
         },
         Experiment { id: "e15", desc: "group maintenance vs re-election (§V-A)", run: e15::run },
+        Experiment {
+            id: "e16",
+            desc: "sharded simulation-core throughput (VC_SHARDS sweep)",
+            run: e16::run,
+        },
     ]
 }
 
@@ -105,7 +111,7 @@ mod tests {
             ids,
             vec![
                 "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-                "e14", "e15"
+                "e14", "e15", "e16"
             ]
         );
         for exp in registry() {

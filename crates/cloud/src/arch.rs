@@ -65,7 +65,8 @@ pub fn membership(kind: ArchitectureKind, scenario: &Scenario) -> Membership {
                 .vehicles()
                 .iter()
                 .filter(|v| {
-                    v.online && matches!(v.mobility, vc_sim::mobility::Mobility::Parked { .. })
+                    scenario.fleet.is_online(v.id())
+                        && matches!(v.mobility, vc_sim::mobility::Mobility::Parked { .. })
                 })
                 .map(|v| v.id())
                 .collect();
@@ -77,22 +78,21 @@ pub fn membership(kind: ArchitectureKind, scenario: &Scenario) -> Membership {
                 .fleet
                 .vehicles()
                 .iter()
-                .filter(|v| v.online && scenario.rsus.covering(v.kinematics.pos).is_some())
+                .filter(|v| {
+                    scenario.fleet.is_online(v.id())
+                        && scenario.rsus.covering(scenario.fleet.pos(v.id())).is_some()
+                })
                 .map(|v| v.id())
                 .collect();
             let center = centroid(scenario, &members);
             Membership { broker: None, members, center, radius: 350.0 }
         }
         ArchitectureKind::Dynamic => {
-            let positions = scenario.fleet.positions();
-            let velocities: Vec<Point> =
-                scenario.fleet.vehicles().iter().map(|v| v.kinematics.velocity).collect();
-            let online: Vec<bool> = scenario.fleet.vehicles().iter().map(|v| v.online).collect();
             let neighbors = scenario.neighbor_table();
             let world = WorldView {
-                positions: &positions,
-                velocities: &velocities,
-                online: &online,
+                positions: scenario.fleet.positions(),
+                velocities: scenario.fleet.velocities(),
+                online: scenario.fleet.online_flags(),
                 neighbors: &neighbors,
             };
             let clustering = form_clusters(&world, &ClusterConfig::multi_hop());
@@ -122,9 +122,7 @@ fn centroid(scenario: &Scenario, members: &[VehicleId]) -> Point {
     if members.is_empty() {
         return Point::new(0.0, 0.0);
     }
-    let sum = members
-        .iter()
-        .fold(Point::new(0.0, 0.0), |acc, &id| acc + scenario.fleet.vehicle(id).kinematics.pos);
+    let sum = members.iter().fold(Point::new(0.0, 0.0), |acc, &id| acc + scenario.fleet.pos(id));
     sum / members.len() as f64
 }
 
@@ -142,8 +140,8 @@ pub fn hosts_of(
             let v = scenario.fleet.vehicle(id);
             let parked = matches!(v.mobility, vc_sim::mobility::Mobility::Parked { .. });
             let dynamics = HostDynamics {
-                pos: v.kinematics.pos,
-                vel: v.kinematics.velocity,
+                pos: scenario.fleet.pos(id),
+                vel: scenario.fleet.velocity(id),
                 group_center: membership.center,
                 group_radius: membership.radius,
                 parked,

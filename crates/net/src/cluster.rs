@@ -140,14 +140,26 @@ fn eligible_neighbors(world: &WorldView<'_>, id: VehicleId, cfg: &ClusterConfig)
 
 /// Forms clusters over the current world snapshot.
 ///
-/// Deterministic: score ties break by lower vehicle id.
+/// Deterministic: score ties break by lower vehicle id. The election-score
+/// pass (the formation hot loop) fans out over shard workers; scores are a
+/// pure function of the snapshot, and shard results concatenate in
+/// canonical index order, so the shard count never changes the outcome.
 pub fn form_clusters(world: &WorldView<'_>, cfg: &ClusterConfig) -> Clustering {
     let _form = vc_obs::profile::frame("cluster.form");
     let n = world.len();
     let mut head_of: Vec<Option<VehicleId>> = vec![None; n];
     // Rank candidates by score (desc), id (asc).
     let mut candidates: Vec<(f64, VehicleId)> =
-        world.online_ids().map(|id| (head_score(world, id, cfg), id)).collect();
+        vc_sim::shard::map_shards(n, vc_sim::shard::shard_count(), |range| {
+            range
+                .map(|i| VehicleId(i as u32))
+                .filter(|&id| world.is_online(id))
+                .map(|id| (head_score(world, id, cfg), id))
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
     candidates.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores").then(a.1.cmp(&b.1)));
 
     let mut members: BTreeMap<VehicleId, Vec<VehicleId>> = BTreeMap::new();

@@ -4,17 +4,31 @@
 //! with a [`RoutingProtocol`]: each round the fleet moves, the neighbor
 //! table is rebuilt, and every live packet copy gets one forwarding
 //! opportunity over the lossy channel.
+//!
+//! ## Parallel rounds
+//!
+//! The radio-bound hot loop fans out over worker threads in contiguous
+//! copy-index shards ([`map_shards`]). Each copy draws from its own RNG
+//! stream ([`SimRng::stream`] keyed by a per-round nonce and the copy's
+//! canonical index), workers compute pure [`CopyOutcome`]s against the
+//! start-of-round snapshot, and the coordinator merges outcomes back in
+//! canonical index order — emitting events, updating statistics, and
+//! deduplicating same-round deliveries/forwards deterministically. The
+//! shard count (`VC_SHARDS`) therefore changes wall-clock only: results
+//! are bitwise identical for every value, including 1.
 
 use crate::message::{Packet, PacketId, RoutingStats};
 use crate::routing::RoutingProtocol;
 use crate::world::WorldView;
 use std::collections::HashSet;
-use vc_obs::{as_probe, reborrow, Recorder};
-use vc_sim::geom::{Point, SpatialGrid};
+use vc_obs::{reborrow, Recorder};
+use vc_sim::geom::SpatialGrid;
 use vc_sim::node::VehicleId;
 use vc_sim::radio::NeighborTable;
+use vc_sim::rng::SimRng;
 use vc_sim::scenario::Scenario;
-use vc_sim::time::SimTime;
+use vc_sim::shard::map_shards;
+use vc_sim::time::{SimDuration, SimTime};
 
 /// One live copy of a packet.
 #[derive(Debug, Clone)]
@@ -34,6 +48,38 @@ struct PacketState {
     delivered: bool,
 }
 
+/// One transmission attempt computed by a shard worker, replayed (events +
+/// statistics) by the coordinator during the merge.
+#[derive(Debug)]
+struct Attempt {
+    target: VehicleId,
+    bytes: usize,
+    contenders: usize,
+    dist_m: f64,
+    /// `Some(one-hop latency)` on success, `None` on channel loss.
+    latency: Option<SimDuration>,
+}
+
+/// What happened to one copy this round, as seen by its shard worker.
+#[derive(Debug)]
+enum Fate {
+    /// Copy died before acting (packet already delivered, holder offline).
+    Dead,
+    /// Copy made no progress (failed direct attempt, TTL-frozen): it stays.
+    Held,
+    /// Direct delivery to the destination succeeded with this hop latency.
+    Delivered(SimDuration),
+    /// The protocol relayed; `keeps` is whether the holder retains its copy.
+    Forwarded { keeps: bool },
+}
+
+/// A shard worker's full report for one copy.
+#[derive(Debug)]
+struct CopyOutcome {
+    attempts: Vec<Attempt>,
+    fate: Fate,
+}
+
 /// The network simulation: inject packets, run rounds, read statistics.
 pub struct NetSim<'a, P: RoutingProtocol> {
     scenario: &'a mut Scenario,
@@ -47,10 +93,82 @@ pub struct NetSim<'a, P: RoutingProtocol> {
     /// grid buckets are rebuilt in place each round instead of reallocated).
     table: NeighborTable,
     grid: SpatialGrid,
-    /// Per-round world-view scratch, likewise reused.
-    pos_buf: Vec<Point>,
-    vel_buf: Vec<Point>,
-    online_buf: Vec<bool>,
+}
+
+/// Evaluates one link attempt from `from` to `to` against the read-only
+/// channel model, drawing loss and latency from the copy's own RNG stream.
+fn attempt_link(
+    scenario: &Scenario,
+    world: &WorldView<'_>,
+    from: VehicleId,
+    to: VehicleId,
+    bytes: usize,
+    rng: &mut SimRng,
+) -> Attempt {
+    let (a, b) = (world.pos(from), world.pos(to));
+    let contenders = world.neighbors.degree(from);
+    let latency = if rng.chance(scenario.delivery_probability(a, b)) {
+        Some(scenario.channel.latency(contenders, bytes, rng))
+    } else {
+        None
+    };
+    Attempt { target: to, bytes, contenders, dist_m: a.distance(b), latency }
+}
+
+/// Pure per-copy round logic, run by shard workers. Reads only the
+/// start-of-round snapshot (`delivered_before`, the world view, packet
+/// states) and the copy's private RNG stream, so the result is independent
+/// of scheduling and shard count.
+#[allow(clippy::too_many_arguments)]
+fn copy_outcome<P: RoutingProtocol>(
+    index: usize,
+    copy: &Copy,
+    state: &PacketState,
+    delivered_before: bool,
+    scenario: &Scenario,
+    world: &WorldView<'_>,
+    protocol: &P,
+    round_key: u64,
+) -> CopyOutcome {
+    // A copy dies when its packet was delivered (as of the round snapshot)
+    // or its holder went offline (offline vehicles keep nothing running).
+    if delivered_before || !world.is_online(copy.holder) {
+        return CopyOutcome { attempts: Vec::new(), fate: Fate::Dead };
+    }
+    let mut rng = SimRng::stream(round_key, index as u64);
+    let dst = state.packet.dst;
+    // Direct delivery when the destination is a live neighbor.
+    if world.is_online(dst) && world.neighbors.of(copy.holder).contains(&dst) {
+        let attempt =
+            attempt_link(scenario, world, copy.holder, dst, state.packet.size_bytes, &mut rng);
+        let fate = match attempt.latency {
+            Some(lat) => Fate::Delivered(lat),
+            None => Fate::Held,
+        };
+        return CopyOutcome { attempts: vec![attempt], fate };
+    }
+    // Out of hop budget: the copy may still deliver directly later, but may
+    // not be relayed further.
+    if copy.hops >= state.packet.ttl_hops {
+        return CopyOutcome { attempts: Vec::new(), fate: Fate::Held };
+    }
+    // Ask the protocol for relays.
+    let hops =
+        protocol.next_hops(copy.holder, &state.packet, world, &|v| state.carried.contains(&v));
+    let mut attempts = Vec::with_capacity(hops.len());
+    let mut forwarded = false;
+    for target in hops {
+        debug_assert!(target != copy.holder);
+        let attempt =
+            attempt_link(scenario, world, copy.holder, target, state.packet.size_bytes, &mut rng);
+        forwarded |= attempt.latency.is_some();
+        attempts.push(attempt);
+    }
+    // Store-carry-forward: the holder keeps its copy unless the protocol
+    // handed it off (single-copy protocols move, epidemic replicates and
+    // also keeps).
+    let keeps = !forwarded || protocol.name() == "epidemic";
+    CopyOutcome { attempts, fate: Fate::Forwarded { keeps } }
 }
 
 impl<'a, P: RoutingProtocol> NetSim<'a, P> {
@@ -70,9 +188,6 @@ impl<'a, P: RoutingProtocol> NetSim<'a, P> {
             now: SimTime::ZERO,
             table: NeighborTable::new(),
             grid,
-            pos_buf: Vec::new(),
-            vel_buf: Vec::new(),
-            online_buf: Vec::new(),
         }
     }
 
@@ -118,7 +233,7 @@ impl<'a, P: RoutingProtocol> NetSim<'a, P> {
     /// radio tx/rx/drop events for every transmission attempt plus `net`
     /// events `routing.forward` (relay accepted a copy) and
     /// `routing.deliver` (destination reached, with hop count and
-    /// end-to-end latency). The simulation — including the RNG stream — is
+    /// end-to-end latency). The simulation — including the RNG streams — is
     /// identical to the unprobed path.
     pub fn run_rounds_obs(&mut self, rounds: usize, mut rec: Option<&mut Recorder>) {
         for _ in 0..rounds {
@@ -128,140 +243,144 @@ impl<'a, P: RoutingProtocol> NetSim<'a, P> {
 
     fn round(&mut self, mut rec: Option<&mut Recorder>) {
         let _round = vc_obs::profile::frame("routing.round");
-        self.scenario.tick();
-        self.now += vc_sim::time::SimDuration::from_secs_f64(self.scenario.dt);
-        self.pos_buf.clear();
-        self.vel_buf.clear();
-        self.online_buf.clear();
-        for v in self.scenario.fleet.vehicles() {
-            self.pos_buf.push(v.kinematics.pos);
-            self.vel_buf.push(v.kinematics.velocity);
-            self.online_buf.push(v.online);
+        {
+            let _tick = vc_obs::profile::frame("shard.tick");
+            self.scenario.tick();
         }
+        self.now += SimDuration::from_secs_f64(self.scenario.dt);
+        // One nonce per round seeds every copy's private stream; drawing it
+        // on the coordinator keeps `scenario.rng` shard-count independent.
+        let round_key = self.scenario.rng.next_u64();
+        let scenario: &Scenario = self.scenario;
         {
             let _grid = vc_obs::profile::frame("grid.query");
             self.table.rebuild(
                 &mut self.grid,
-                &self.pos_buf,
-                &self.online_buf,
-                self.scenario.channel.range_m,
+                scenario.fleet.positions(),
+                scenario.fleet.online_flags(),
+                scenario.channel.range_m,
             );
         }
-        let neighbors = &self.table;
         let world = WorldView {
-            positions: &self.pos_buf,
-            velocities: &self.vel_buf,
-            online: &self.online_buf,
-            neighbors,
+            positions: scenario.fleet.positions(),
+            velocities: scenario.fleet.velocities(),
+            online: scenario.fleet.online_flags(),
+            neighbors: &self.table,
         };
         self.protocol.begin_round(&world);
 
-        let mut new_copies: Vec<Copy> = Vec::new();
-        let mut surviving: Vec<Copy> = Vec::new();
-        // Drain copies; process each (delivery attempts + protocol
-        // forwarding — the round's radio-bound hot loop).
-        let _delivery = vc_obs::profile::frame("radio.delivery");
+        // Snapshot delivery flags so every worker (and every shard count)
+        // sees the same start-of-round state.
+        let delivered_snap: Vec<bool> = self.packets.iter().map(|s| s.delivered).collect();
         let copies = std::mem::take(&mut self.copies);
-        for copy in copies {
-            let state = &self.packets[copy.packet_idx];
-            // A copy dies when its packet was delivered elsewhere or its
-            // holder went offline (offline vehicles keep nothing running).
-            if state.delivered || !world.is_online(copy.holder) {
-                continue;
-            }
-            let dst = state.packet.dst;
-            // Direct delivery when the destination is a live neighbor.
-            if world.is_online(dst) && neighbors.of(copy.holder).contains(&dst) {
-                self.stats.transmissions += 1;
-                let contenders = neighbors.degree(copy.holder);
-                let size = state.packet.size_bytes;
-                if let Some(lat) = self.scenario.try_deliver_between_probed(
-                    self.now,
-                    world.pos(copy.holder),
-                    world.pos(dst),
-                    contenders,
-                    size,
-                    as_probe(&mut rec),
-                ) {
+        let outcomes: Vec<CopyOutcome> = {
+            let _delivery = vc_obs::profile::frame("radio.delivery");
+            let (packets, protocol) = (&self.packets, &self.protocol);
+            map_shards(copies.len(), scenario.shards, |range| {
+                range
+                    .map(|i| {
+                        let copy = &copies[i];
+                        copy_outcome(
+                            i,
+                            copy,
+                            &packets[copy.packet_idx],
+                            delivered_snap[copy.packet_idx],
+                            scenario,
+                            &world,
+                            protocol,
+                            round_key,
+                        )
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        };
+
+        // Sequential merge in canonical copy order: replay events and
+        // statistics, dedupe same-round deliveries (first in canonical
+        // order wins) and duplicate forwards to an already-carried target.
+        let _merge = vc_obs::profile::frame("shard.merge");
+        let now = self.now;
+        let mut surviving: Vec<Copy> = Vec::with_capacity(copies.len());
+        let mut new_copies: Vec<Copy> = Vec::new();
+        for (copy, outcome) in copies.into_iter().zip(outcomes) {
+            match outcome.fate {
+                Fate::Dead => {}
+                Fate::Held => {
+                    for attempt in &outcome.attempts {
+                        self.stats.transmissions += 1;
+                        emit_attempt(&mut rec, now, attempt);
+                    }
+                    surviving.push(copy);
+                }
+                Fate::Delivered(lat) => {
+                    let attempt = &outcome.attempts[0];
+                    self.stats.transmissions += 1;
+                    emit_attempt(&mut rec, now, attempt);
                     let state = &mut self.packets[copy.packet_idx];
-                    state.delivered = true;
-                    let e2e = self.now.saturating_since(state.packet.created).as_secs_f64()
-                        + copy.radio_latency_s
-                        + lat.as_secs_f64();
-                    self.stats.delivered += 1;
-                    self.stats.latencies_s.push(e2e);
-                    self.stats.hops.push(copy.hops + 1);
-                    if let Some(rec) = reborrow(&mut rec) {
-                        rec.event(
-                            self.now,
-                            "net",
-                            "routing.deliver",
-                            vec![
-                                ("packet", state.packet.id.0.into()),
-                                ("hops", (copy.hops + 1).into()),
-                                ("e2e_s", e2e.into()),
-                            ],
-                        );
+                    if !state.delivered {
+                        state.delivered = true;
+                        let e2e = now.saturating_since(state.packet.created).as_secs_f64()
+                            + copy.radio_latency_s
+                            + lat.as_secs_f64();
+                        self.stats.delivered += 1;
+                        self.stats.latencies_s.push(e2e);
+                        self.stats.hops.push(copy.hops + 1);
+                        if let Some(rec) = reborrow(&mut rec) {
+                            rec.event(
+                                now,
+                                "net",
+                                "routing.deliver",
+                                vec![
+                                    ("packet", state.packet.id.0.into()),
+                                    ("hops", (copy.hops + 1).into()),
+                                    ("e2e_s", e2e.into()),
+                                ],
+                            );
+                        }
                     }
-                    continue;
+                    // An earlier copy (in canonical order) already delivered
+                    // the packet this round: this one dies silently.
                 }
-                // Lost transmission: retry next round.
-                surviving.push(copy);
-                continue;
-            }
-            // Ask the protocol for relays.
-            if copy.hops >= state.packet.ttl_hops {
-                // Out of hop budget: the copy may still deliver directly later,
-                // but may not be relayed further.
-                surviving.push(copy);
-                continue;
-            }
-            let packet = state.packet.clone();
-            let carried_set = state.carried.clone();
-            let hops = self
-                .protocol
-                .next_hops(copy.holder, &packet, &world, &|v| carried_set.contains(&v));
-            let mut forwarded = false;
-            for target in hops {
-                debug_assert!(target != copy.holder);
-                self.stats.transmissions += 1;
-                let contenders = neighbors.degree(copy.holder);
-                if let Some(lat) = self.scenario.try_deliver_between_probed(
-                    self.now,
-                    world.pos(copy.holder),
-                    world.pos(target),
-                    contenders,
-                    packet.size_bytes,
-                    as_probe(&mut rec),
-                ) {
-                    new_copies.push(Copy {
-                        packet_idx: copy.packet_idx,
-                        holder: target,
-                        hops: copy.hops + 1,
-                        radio_latency_s: copy.radio_latency_s + lat.as_secs_f64(),
-                    });
-                    self.packets[copy.packet_idx].carried.insert(target);
-                    forwarded = true;
-                    if let Some(rec) = reborrow(&mut rec) {
-                        rec.event(
-                            self.now,
-                            "net",
-                            "routing.forward",
-                            vec![
-                                ("packet", packet.id.0.into()),
-                                ("from", copy.holder.0.into()),
-                                ("to", target.0.into()),
-                            ],
-                        );
+                Fate::Forwarded { keeps } => {
+                    for attempt in &outcome.attempts {
+                        self.stats.transmissions += 1;
+                        emit_attempt(&mut rec, now, attempt);
+                        if attempt.latency.is_none() {
+                            continue;
+                        }
+                        let state = &mut self.packets[copy.packet_idx];
+                        // Duplicate forward to a target another copy already
+                        // reached this round: the transmission happened (and
+                        // was counted above) but spawns no second copy.
+                        if state.carried.insert(attempt.target) {
+                            new_copies.push(Copy {
+                                packet_idx: copy.packet_idx,
+                                holder: attempt.target,
+                                hops: copy.hops + 1,
+                                radio_latency_s: copy.radio_latency_s
+                                    + attempt.latency.map_or(0.0, |l| l.as_secs_f64()),
+                            });
+                            if let Some(rec) = reborrow(&mut rec) {
+                                rec.event(
+                                    now,
+                                    "net",
+                                    "routing.forward",
+                                    vec![
+                                        ("packet", state.packet.id.0.into()),
+                                        ("from", copy.holder.0.into()),
+                                        ("to", attempt.target.0.into()),
+                                    ],
+                                );
+                            }
+                        }
+                    }
+                    if keeps {
+                        surviving.push(copy);
                     }
                 }
-            }
-            // Store-carry-forward: the holder keeps its copy unless the
-            // protocol handed it off (single-copy protocols move, epidemic
-            // replicates and also keeps).
-            let keeps = !forwarded || self.protocol.name() == "epidemic";
-            if keeps {
-                surviving.push(copy);
             }
         }
         surviving.extend(new_copies);
@@ -287,6 +406,27 @@ impl<'a, P: RoutingProtocol> NetSim<'a, P> {
     /// Number of live copies (diagnostic).
     pub fn live_copies(&self) -> usize {
         self.copies.len()
+    }
+}
+
+/// Replays one worker-computed transmission attempt into the event stream:
+/// `radio.tx` for the attempt, then `radio.rx` (with latency) or
+/// `radio.drop` — byte-identical to the sequential probe path.
+fn emit_attempt(rec: &mut Option<&mut Recorder>, now: SimTime, attempt: &Attempt) {
+    let Some(rec) = reborrow(rec) else {
+        return;
+    };
+    rec.event(
+        now,
+        "sim",
+        "radio.tx",
+        vec![("bytes", attempt.bytes.into()), ("contenders", attempt.contenders.into())],
+    );
+    match attempt.latency {
+        Some(latency) => {
+            rec.event(now, "sim", "radio.rx", vec![("latency_us", latency.as_micros().into())]);
+        }
+        None => rec.event(now, "sim", "radio.drop", vec![("dist_m", attempt.dist_m.into())]),
     }
 }
 
@@ -376,7 +516,7 @@ mod tests {
         b.seed(5).vehicles(2);
         let mut scenario = b.highway_no_infra();
         // Force them far apart.
-        scenario.fleet.vehicle_mut(VehicleId(0)).online = true;
+        scenario.fleet.set_online(VehicleId(0), true);
         let mut sim = NetSim::new(&mut scenario, GreedyGeo);
         sim.send(VehicleId(0), VehicleId(1), 128);
         sim.run_rounds(3);
@@ -423,4 +563,33 @@ mod tests {
         };
         assert_eq!(run(7), run(7));
     }
+
+    #[test]
+    fn sharded_rounds_match_sequential_bitwise() {
+        // Enough copies in flight (epidemic over a big fleet) to exceed
+        // MIN_ITEMS_PER_SHARD and genuinely exercise the threaded path.
+        let run = |shards: usize| {
+            let mut scenario = dense_urban(11, 150);
+            scenario.shards = shards;
+            let mut sim = NetSim::new(&mut scenario, Epidemic);
+            sim.send_random_pairs(30, 128);
+            let mut peak_copies = 0;
+            for _ in 0..30 {
+                sim.run_rounds(1);
+                peak_copies = peak_copies.max(sim.live_copies());
+            }
+            let s = sim.into_stats();
+            let lat_bits: Vec<u64> = s.latencies_s.iter().map(|l| l.to_bits()).collect();
+            (s.sent, s.delivered, s.transmissions, s.hops, lat_bits, peak_copies)
+        };
+        let sequential = run(1);
+        assert!(sequential.5 > MIN_COPIES_FOR_FANOUT, "test must exercise the parallel path");
+        for shards in [2usize, 4, 8] {
+            assert_eq!(run(shards), sequential, "diverged at {shards} shards");
+        }
+    }
+
+    /// The determinism test above is only meaningful if the copy population
+    /// outgrows the planner's collapse threshold.
+    const MIN_COPIES_FOR_FANOUT: usize = vc_sim::shard::MIN_ITEMS_PER_SHARD;
 }

@@ -12,7 +12,11 @@ use crate::world::WorldView;
 use vc_sim::node::VehicleId;
 
 /// A routing protocol's per-round forwarding logic.
-pub trait RoutingProtocol {
+///
+/// `Sync` is a supertrait: [`NetSim`](crate::netsim::NetSim) consults
+/// `next_hops` from shard worker threads in parallel (the `&self` receiver
+/// already keeps the round read-only; `Sync` lets workers share it).
+pub trait RoutingProtocol: Sync {
     /// Short name for tables.
     fn name(&self) -> &'static str;
 

@@ -2,6 +2,7 @@
 
 use vc_net::cluster::{form_clusters, ClusterConfig};
 use vc_net::message::{Packet, PacketId};
+use vc_net::netsim::NetSim;
 use vc_net::routing::{ClusterRouting, Epidemic, GreedyGeo, MozoRouting, RoutingProtocol};
 use vc_net::world::WorldView;
 use vc_sim::geom::Point;
@@ -9,7 +10,7 @@ use vc_sim::node::VehicleId;
 use vc_sim::radio::NeighborTable;
 use vc_sim::rng::SimRng;
 use vc_sim::time::SimTime;
-use vc_testkit::prop::strategy::{any_u16, any_u32, from_fn, FromFn};
+use vc_testkit::prop::strategy::{any_u16, any_u32, any_u64, from_fn, FromFn};
 use vc_testkit::{prop, prop_assert, prop_assert_eq, prop_assert_ne};
 
 #[derive(Debug, Clone)]
@@ -46,6 +47,39 @@ fn world_pair() -> FromFn<impl Fn(&mut SimRng) -> (World, World)> {
         let n = rng.range_u64(2, 24) as usize;
         (gen_world(rng, n), gen_world(rng, n))
     })
+}
+
+/// Fingerprint of a full instrumented sharded run: statistics (latencies as
+/// raw bits), the serialized event stream, and the end-state fleet
+/// kinematics. Equal fingerprints mean bitwise-equal runs.
+type RunFingerprint = (u64, u64, u64, Vec<u32>, Vec<u64>, Vec<u8>, Vec<(u64, u64)>);
+
+fn sharded_run_fingerprint<P: RoutingProtocol>(
+    seed: u64,
+    vehicles: usize,
+    packets: usize,
+    rounds: usize,
+    shard_count: usize,
+    protocol: P,
+) -> RunFingerprint {
+    let mut b = vc_sim::scenario::ScenarioBuilder::new();
+    b.seed(seed).vehicles(vehicles);
+    let mut scenario = b.urban_with_rsus();
+    scenario.shards = shard_count;
+    let mut rec = vc_obs::Recorder::new();
+    let (stats, events) = {
+        let mut sim = NetSim::new(&mut scenario, protocol);
+        sim.send_random_pairs(packets, 128);
+        sim.run_rounds_obs(rounds, Some(&mut rec));
+        let stats = sim.into_stats();
+        let mut events = Vec::new();
+        rec.write_jsonl(&mut events).expect("serialize events");
+        (stats, events)
+    };
+    let lat_bits: Vec<u64> = stats.latencies_s.iter().map(|l| l.to_bits()).collect();
+    let pos_bits: Vec<(u64, u64)> =
+        scenario.fleet.positions().iter().map(|p| (p.x.to_bits(), p.y.to_bits())).collect();
+    (stats.sent, stats.delivered, stats.transmissions, stats.hops, lat_bits, events, pos_bits)
 }
 
 prop! {
@@ -238,5 +272,39 @@ prop! {
             dedup.dedup();
             prop_assert_eq!(dedup.len(), epi.len(), "epidemic duplicated a target");
         }
+    }
+
+    // ---- sharded round determinism ----
+
+    #[test]
+    fn sharded_netsim_run_is_bitwise_equal_to_sequential(
+        seed in any_u64(),
+        shards in 2usize..9,
+        vehicles in 30usize..70,
+        packets in 5usize..20,
+        rounds in 5usize..20,
+        protocol in 0u8..3,
+    ) {
+        // A full instrumented run: the merged event stream (every radio
+        // tx/rx/drop and routing forward/deliver, in order), the final
+        // statistics (latencies compared bit for bit), and the end-state
+        // fleet kinematics must all be identical at any shard count.
+        let (sequential, sharded) = match protocol {
+            0 => (
+                sharded_run_fingerprint(seed, vehicles, packets, rounds, 1, Epidemic),
+                sharded_run_fingerprint(seed, vehicles, packets, rounds, shards, Epidemic),
+            ),
+            1 => (
+                sharded_run_fingerprint(seed, vehicles, packets, rounds, 1, GreedyGeo),
+                sharded_run_fingerprint(seed, vehicles, packets, rounds, shards, GreedyGeo),
+            ),
+            _ => (
+                sharded_run_fingerprint(seed, vehicles, packets, rounds, 1, MozoRouting::new()),
+                sharded_run_fingerprint(
+                    seed, vehicles, packets, rounds, shards, MozoRouting::new(),
+                ),
+            ),
+        };
+        prop_assert_eq!(sequential, sharded);
     }
 }

@@ -37,6 +37,7 @@ pub mod radio;
 pub mod rng;
 pub mod roadnet;
 pub mod scenario;
+pub mod shard;
 pub mod time;
 pub mod trace;
 
@@ -54,6 +55,7 @@ pub mod prelude {
     pub use crate::rng::SimRng;
     pub use crate::roadnet::{NodeId, RoadId, RoadNetwork};
     pub use crate::scenario::{CanyonModel, Regime, Scenario, ScenarioBuilder};
+    pub use crate::shard::{map_shards, shard_count, ShardPlan};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::trace::{Trace, TraceMeta, TraceSample};
 }

@@ -5,11 +5,19 @@
 //! (infrastructure-based clouds around RSUs), and highway cruising (dynamic
 //! clouds with the highest churn). All models advance in fixed `dt` steps
 //! driven by the kernel and are deterministic given the seed.
+//!
+//! Per-vehicle state is stored struct-of-arrays in [`Fleet`] (positions,
+//! velocities, online flags, and RNG streams in parallel vectors) so the
+//! per-tick hot loop batches cache-friendly and shards across worker threads
+//! (see [`crate::shard`]). Every vehicle owns a persistent RNG stream forked
+//! from the construction seed, so the tick results are independent of the
+//! shard count by construction.
 
 use crate::geom::Point;
 use crate::node::{Kinematics, VehicleId, VehicleProfile};
 use crate::rng::SimRng;
 use crate::roadnet::{NodeId, RoadNetwork};
+use crate::shard::ShardPlan;
 
 /// How a vehicle moves.
 #[derive(Debug, Clone)]
@@ -94,36 +102,20 @@ pub fn idm_acceleration(v: f64, v0: f64, leader: Option<(f64, f64)>, p: &IdmPara
     }
 }
 
-/// A vehicle: static profile, mobility model, and live kinematics.
+/// A vehicle: static profile and mobility model. Live kinematic state
+/// (position, velocity, online flag) lives struct-of-arrays in the [`Fleet`].
 #[derive(Debug, Clone)]
 pub struct Vehicle {
     /// Static profile (id, automation, resources).
     pub profile: VehicleProfile,
     /// Mobility model and its state.
     pub mobility: Mobility,
-    /// Live kinematic state, updated each [`Fleet::step`].
-    pub kinematics: Kinematics,
-    /// Whether the vehicle is currently switched on / participating.
-    pub online: bool,
 }
 
 impl Vehicle {
-    /// Creates a vehicle with kinematics initialised from the mobility model.
-    pub fn new(profile: VehicleProfile, mobility: Mobility, net: &RoadNetwork) -> Self {
-        let pos = match &mobility {
-            Mobility::Parked { pos } => *pos,
-            Mobility::Waypoint(w) => {
-                let node = if w.leg > 0 { w.path[w.leg - 1] } else { w.path[0] };
-                net.pos(node)
-            }
-            Mobility::Cruise(c) => Point::new(c.offset_m, c.lane_y),
-        };
-        Vehicle {
-            profile,
-            mobility,
-            kinematics: Kinematics { pos, velocity: Point::new(0.0, 0.0) },
-            online: true,
-        }
+    /// Creates a vehicle from a profile and mobility model.
+    pub fn new(profile: VehicleProfile, mobility: Mobility) -> Self {
+        Vehicle { profile, mobility }
     }
 
     /// This vehicle's id.
@@ -134,17 +126,29 @@ impl Vehicle {
 
 /// A collection of vehicles advanced together over a shared road network.
 ///
+/// Kinematic state is stored struct-of-arrays: `positions()`,
+/// `velocities()`, and `online_flags()` expose the dense per-vehicle vectors
+/// directly (no copies), indexed by vehicle id.
+///
 /// ```
 /// use vc_sim::prelude::*;
 /// let net = RoadNetwork::grid(4, 4, 100.0, 13.9);
 /// let mut rng = SimRng::seed_from(1);
 /// let mut fleet = Fleet::urban(&net, 20, &mut rng);
-/// fleet.step(0.1, &net, &mut rng);
+/// fleet.step(0.1, &net);
 /// assert_eq!(fleet.len(), 20);
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Fleet {
     vehicles: Vec<Vehicle>,
+    pos: Vec<Point>,
+    vel: Vec<Point>,
+    online: Vec<bool>,
+    /// One persistent RNG stream per vehicle, forked at construction. All
+    /// mobility randomness (pauses, path choice, driver noise) draws from the
+    /// vehicle's own stream, which is what makes the sharded step bitwise
+    /// equal to the sequential one.
+    rngs: Vec<SimRng>,
 }
 
 impl Fleet {
@@ -153,11 +157,25 @@ impl Fleet {
         Fleet::default()
     }
 
-    /// Adds a vehicle, returning its id.
-    pub fn push(&mut self, v: Vehicle) -> VehicleId {
+    /// Adds a vehicle, initialising its position from the mobility model and
+    /// forking its persistent RNG stream off `rng`, keyed by the vehicle id.
+    /// Returns the id.
+    pub fn push(&mut self, v: Vehicle, net: &RoadNetwork, rng: &mut SimRng) -> VehicleId {
         let id = v.id();
         debug_assert_eq!(id.0 as usize, self.vehicles.len(), "vehicle ids must be dense");
+        let pos = match &v.mobility {
+            Mobility::Parked { pos } => *pos,
+            Mobility::Waypoint(w) => {
+                let node = if w.leg > 0 { w.path[w.leg - 1] } else { w.path[0] };
+                net.pos(node)
+            }
+            Mobility::Cruise(c) => Point::new(c.offset_m, c.lane_y),
+        };
         self.vehicles.push(v);
+        self.pos.push(pos);
+        self.vel.push(Point::new(0.0, 0.0));
+        self.online.push(true);
+        self.rngs.push(rng.fork(u64::from(id.0)));
         id
     }
 
@@ -195,24 +213,156 @@ impl Fleet {
     }
 
     /// Positions of all vehicles in id order (offline vehicles included).
-    pub fn positions(&self) -> Vec<Point> {
-        self.vehicles.iter().map(|v| v.kinematics.pos).collect()
+    pub fn positions(&self) -> &[Point] {
+        &self.pos
+    }
+
+    /// Velocities of all vehicles in id order.
+    pub fn velocities(&self) -> &[Point] {
+        &self.vel
+    }
+
+    /// Online flags of all vehicles in id order.
+    pub fn online_flags(&self) -> &[bool] {
+        &self.online
+    }
+
+    /// Position of one vehicle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn pos(&self, id: VehicleId) -> Point {
+        self.pos[id.0 as usize]
+    }
+
+    /// Velocity of one vehicle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn velocity(&self, id: VehicleId) -> Point {
+        self.vel[id.0 as usize]
+    }
+
+    /// Kinematic snapshot (position + velocity) of one vehicle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn kinematics(&self, id: VehicleId) -> Kinematics {
+        Kinematics { pos: self.pos(id), velocity: self.velocity(id) }
+    }
+
+    /// Whether one vehicle is online.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn is_online(&self, id: VehicleId) -> bool {
+        self.online[id.0 as usize]
+    }
+
+    /// Switches one vehicle on or off (offline vehicles freeze in place).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn set_online(&mut self, id: VehicleId, online: bool) {
+        self.online[id.0 as usize] = online;
     }
 
     /// Ids of online vehicles.
     pub fn online_ids(&self) -> Vec<VehicleId> {
-        self.vehicles.iter().filter(|v| v.online).map(|v| v.id()).collect()
+        (0..self.vehicles.len()).filter(|&i| self.online[i]).map(|i| VehicleId(i as u32)).collect()
     }
 
-    /// Advances every online vehicle by `dt` seconds. Cruising vehicles
-    /// follow IDM car-following against the leader in their lane.
-    pub fn step(&mut self, dt: f64, net: &RoadNetwork, rng: &mut SimRng) {
-        // Pass 1: gather the cruise fleet per (direction, lane) for IDM.
+    /// Number of online vehicles.
+    pub fn online_count(&self) -> usize {
+        self.online.iter().filter(|&&o| o).count()
+    }
+
+    /// Advances every online vehicle by `dt` seconds using the configured
+    /// shard count ([`crate::shard::shard_count`], i.e. `VC_SHARDS`).
+    /// Cruising vehicles follow IDM car-following against the leader in
+    /// their lane.
+    pub fn step(&mut self, dt: f64, net: &RoadNetwork) {
+        self.step_sharded(dt, net, crate::shard::shard_count());
+    }
+
+    /// [`Fleet::step`] with an explicit shard count. Results are bitwise
+    /// identical for every `shards` value: each vehicle draws only from its
+    /// own RNG stream and writes only its own state slot, so the partition
+    /// is invisible.
+    pub fn step_sharded(&mut self, dt: f64, net: &RoadNetwork, shards: usize) {
+        let leaders = self.lane_leaders();
+        let idm = IdmParams::default();
+        let n = self.vehicles.len();
+        let plan = ShardPlan::new(n, shards);
+        let Fleet { vehicles, pos, vel, online, rngs } = self;
+        if plan.len() <= 1 {
+            for i in 0..n {
+                if online[i] {
+                    step_one(
+                        &mut vehicles[i],
+                        &mut pos[i],
+                        &mut vel[i],
+                        &mut rngs[i],
+                        leaders[i],
+                        &idm,
+                        dt,
+                        net,
+                    );
+                }
+            }
+            return;
+        }
+        let online: &[bool] = online;
+        let leaders: &[Option<(f64, f64)>] = &leaders;
+        std::thread::scope(|scope| {
+            let mut veh_rest: &mut [Vehicle] = vehicles;
+            let mut pos_rest: &mut [Point] = pos;
+            let mut vel_rest: &mut [Point] = vel;
+            let mut rng_rest: &mut [SimRng] = rngs;
+            for range in plan.ranges() {
+                let len = range.len();
+                let (veh_chunk, vr) = veh_rest.split_at_mut(len);
+                let (pos_chunk, pr) = pos_rest.split_at_mut(len);
+                let (vel_chunk, lr) = vel_rest.split_at_mut(len);
+                let (rng_chunk, rr) = rng_rest.split_at_mut(len);
+                (veh_rest, pos_rest, vel_rest, rng_rest) = (vr, pr, lr, rr);
+                let start = range.start;
+                scope.spawn(move || {
+                    for k in 0..len {
+                        let i = start + k;
+                        if online[i] {
+                            step_one(
+                                &mut veh_chunk[k],
+                                &mut pos_chunk[k],
+                                &mut vel_chunk[k],
+                                &mut rng_chunk[k],
+                                leaders[i],
+                                &idm,
+                                dt,
+                                net,
+                            );
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    /// IDM leader lookup: for each online cruiser, the (gap, leader speed)
+    /// pair of the next vehicle ahead in its (direction, lane). `None`
+    /// everywhere else. Deterministic and shard-count independent — this
+    /// read-only pass runs on the coordinator before the shards fan out.
+    fn lane_leaders(&self) -> Vec<Option<(f64, f64)>> {
         // Per lane: (fleet index, offset along corridor, speed).
         type LaneMap = std::collections::BTreeMap<(i8, i64), Vec<(usize, f64, f64)>>;
         let mut lanes: LaneMap = std::collections::BTreeMap::new();
         for (i, v) in self.vehicles.iter().enumerate() {
-            if !v.online {
+            if !self.online[i] {
                 continue;
             }
             if let Mobility::Cruise(c) = &v.mobility {
@@ -220,10 +370,7 @@ impl Fleet {
                 lanes.entry(key).or_default().push((i, c.offset_m, c.speed));
             }
         }
-        // Leader lookup: for each cruiser, (gap, leader speed) in travel
-        // direction within its lane.
-        let mut leaders: std::collections::HashMap<usize, (f64, f64)> =
-            std::collections::HashMap::new();
+        let mut leaders: Vec<Option<(f64, f64)>> = vec![None; self.vehicles.len()];
         for ((dir, _), members) in &mut lanes {
             // Sort by travel order: ascending offset for +1, descending for -1.
             members.sort_by(|a, b| {
@@ -237,25 +384,10 @@ impl Fleet {
             for w in members.windows(2) {
                 let (follower, leader) = (&w[0], &w[1]);
                 let gap = (leader.1 - follower.1).abs();
-                leaders.insert(follower.0, (gap, leader.2));
+                leaders[follower.0] = Some((gap, leader.2));
             }
         }
-        let idm = IdmParams::default();
-        for (i, v) in self.vehicles.iter_mut().enumerate() {
-            if !v.online {
-                continue;
-            }
-            match &mut v.mobility {
-                Mobility::Parked { pos } => {
-                    v.kinematics = Kinematics { pos: *pos, velocity: Point::new(0.0, 0.0) };
-                }
-                Mobility::Waypoint(w) => step_waypoint(w, &mut v.kinematics, dt, net, rng),
-                Mobility::Cruise(c) => {
-                    let leader = leaders.get(&i).copied();
-                    step_cruise(c, &mut v.kinematics, dt, leader, &idm, rng);
-                }
-            }
-        }
+        leaders
     }
 
     /// Builds an urban fleet of `n` waypoint vehicles on `net`.
@@ -268,7 +400,7 @@ impl Fleet {
         for i in 0..n {
             let profile = random_profile(VehicleId(i as u32), rng);
             let mobility = Mobility::Waypoint(new_waypoint(net, rng));
-            fleet.push(Vehicle::new(profile, mobility, net));
+            fleet.push(Vehicle::new(profile, mobility), net, rng);
         }
         fleet
     }
@@ -291,7 +423,7 @@ impl Fleet {
                 corridor_m,
                 lane_y,
             });
-            fleet.push(Vehicle::new(profile, mobility, net));
+            fleet.push(Vehicle::new(profile, mobility), net, rng);
         }
         fleet
     }
@@ -305,10 +437,35 @@ impl Fleet {
             let row = i / 20;
             let col = i % 20;
             let pos = origin + Point::new(col as f64 * 5.0, row as f64 * 8.0);
-            fleet.push(Vehicle::new(profile, Mobility::Parked { pos }, net));
+            fleet.push(Vehicle::new(profile, Mobility::Parked { pos }), net, rng);
         }
         fleet
     }
+}
+
+/// Advances one vehicle. Touches only that vehicle's state slots and RNG
+/// stream — the unit of work the shard workers execute.
+#[allow(clippy::too_many_arguments)]
+fn step_one(
+    v: &mut Vehicle,
+    pos: &mut Point,
+    vel: &mut Point,
+    rng: &mut SimRng,
+    leader: Option<(f64, f64)>,
+    idm: &IdmParams,
+    dt: f64,
+    net: &RoadNetwork,
+) {
+    let mut kin = Kinematics { pos: *pos, velocity: *vel };
+    match &mut v.mobility {
+        Mobility::Parked { pos: spot } => {
+            kin = Kinematics { pos: *spot, velocity: Point::new(0.0, 0.0) };
+        }
+        Mobility::Waypoint(w) => step_waypoint(w, &mut kin, dt, net, rng),
+        Mobility::Cruise(c) => step_cruise(c, &mut kin, dt, leader, idm, rng),
+    }
+    *pos = kin.pos;
+    *vel = kin.velocity;
 }
 
 /// Draws a plausible vehicle profile: mostly L2–L4, occasional L5.
@@ -461,9 +618,9 @@ mod tests {
         let net = grid();
         let mut rng = SimRng::seed_from(1);
         let mut fleet = Fleet::parking_lot(Point::new(0.0, 0.0), 10, &net, &mut rng);
-        let before = fleet.positions();
+        let before = fleet.positions().to_vec();
         for _ in 0..50 {
-            fleet.step(1.0, &net, &mut rng);
+            fleet.step(1.0, &net);
         }
         assert_eq!(fleet.positions(), before);
     }
@@ -473,11 +630,11 @@ mod tests {
         let net = grid();
         let mut rng = SimRng::seed_from(2);
         let mut fleet = Fleet::urban(&net, 15, &mut rng);
-        let before = fleet.positions();
+        let before = fleet.positions().to_vec();
         for _ in 0..100 {
-            fleet.step(0.5, &net, &mut rng);
+            fleet.step(0.5, &net);
         }
-        let after = fleet.positions();
+        let after = fleet.positions().to_vec();
         let moved = before.iter().zip(&after).filter(|(a, b)| a.distance(**b) > 1.0).count();
         assert!(moved > 10, "only {moved} vehicles moved");
         // All positions must remain within the (inflated) grid bounding box.
@@ -492,9 +649,9 @@ mod tests {
         let mut rng = SimRng::seed_from(3);
         let mut fleet = Fleet::urban(&net, 10, &mut rng);
         for _ in 0..50 {
-            fleet.step(0.1, &net, &mut rng);
+            fleet.step(0.1, &net);
             for v in fleet.vehicles() {
-                assert!(v.kinematics.speed() <= 13.9 * 1.15 + 1e-9);
+                assert!(fleet.kinematics(v.id()).speed() <= 13.9 * 1.15 + 1e-9);
             }
         }
     }
@@ -505,12 +662,13 @@ mod tests {
         let mut rng = SimRng::seed_from(4);
         let mut fleet = Fleet::highway(2000.0, 20, &net, &mut rng);
         for _ in 0..500 {
-            fleet.step(0.5, &net, &mut rng);
+            fleet.step(0.5, &net);
         }
         for v in fleet.vehicles() {
-            let p = v.kinematics.pos;
+            let kin = fleet.kinematics(v.id());
+            let p = kin.pos;
             assert!(p.x >= -1.0 && p.x <= 2001.0, "left corridor: {p}");
-            let s = v.kinematics.speed();
+            let s = kin.speed();
             assert!((0.0..=40.0).contains(&s), "speed out of band: {s}");
         }
     }
@@ -541,6 +699,7 @@ mod tests {
         // Controlled two-vehicle lane: a fast follower behind a slow leader.
         let net = RoadNetwork::highway(5000.0, 2, 33.3);
         let mut fleet = Fleet::new();
+        let mut rng = SimRng::seed_from(8);
         let mk = |id: u32, offset: f64, desired: f64| {
             let profile = VehicleProfile::new(
                 VehicleId(id),
@@ -557,20 +716,18 @@ mod tests {
                     corridor_m: 5000.0,
                     lane_y: 1.5,
                 }),
-                &net,
             )
         };
-        fleet.push(mk(0, 100.0, 35.0)); // fast follower
-        fleet.push(mk(1, 160.0, 18.0)); // slow leader
-        let mut rng = SimRng::seed_from(8);
+        fleet.push(mk(0, 100.0, 35.0), &net, &mut rng); // fast follower
+        fleet.push(mk(1, 160.0, 18.0), &net, &mut rng); // slow leader
         for _ in 0..600 {
-            fleet.step(0.1, &net, &mut rng);
-            let f = fleet.vehicle(VehicleId(0)).kinematics.pos.x;
-            let l = fleet.vehicle(VehicleId(1)).kinematics.pos.x;
+            fleet.step(0.1, &net);
+            let f = fleet.pos(VehicleId(0)).x;
+            let l = fleet.pos(VehicleId(1)).x;
             assert!(l - f > 1.0, "follower overran leader: follower {f}, leader {l}");
         }
         // The follower has settled near the leader's speed (a platoon).
-        let vf = fleet.vehicle(VehicleId(0)).kinematics.speed();
+        let vf = fleet.kinematics(VehicleId(0)).speed();
         assert!((vf - 18.0).abs() < 3.0, "follower platooned at {vf} m/s");
     }
 
@@ -580,16 +737,18 @@ mod tests {
         let mut rng = SimRng::seed_from(5);
         let mut fleet = Fleet::urban(&net, 5, &mut rng);
         for _ in 0..10 {
-            fleet.step(0.5, &net, &mut rng);
+            fleet.step(0.5, &net);
         }
         let id = VehicleId(0);
-        fleet.vehicle_mut(id).online = false;
-        let frozen = fleet.vehicle(id).kinematics.pos;
+        fleet.set_online(id, false);
+        let frozen = fleet.pos(id);
         for _ in 0..10 {
-            fleet.step(0.5, &net, &mut rng);
+            fleet.step(0.5, &net);
         }
-        assert_eq!(fleet.vehicle(id).kinematics.pos, frozen);
+        assert_eq!(fleet.pos(id), frozen);
         assert_eq!(fleet.online_ids().len(), 4);
+        assert_eq!(fleet.online_count(), 4);
+        assert!(!fleet.is_online(id));
     }
 
     #[test]
@@ -599,9 +758,9 @@ mod tests {
             let mut rng = SimRng::seed_from(seed);
             let mut fleet = Fleet::urban(&net, 10, &mut rng);
             for _ in 0..100 {
-                fleet.step(0.5, &net, &mut rng);
+                fleet.step(0.5, &net);
             }
-            fleet.positions()
+            fleet.positions().to_vec()
         };
         let a = run(42);
         let b = run(42);
@@ -610,6 +769,48 @@ mod tests {
             assert_eq!(p, q);
         }
         assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn sharded_step_is_bitwise_equal_to_sequential() {
+        // The tentpole invariant, pinned at unit level: any shard count
+        // yields bit-identical positions and velocities, in every regime.
+        let net = grid();
+        let hwy = RoadNetwork::highway(2000.0, 3, 33.3);
+        // Enough vehicles that the plan genuinely fans out (over
+        // MIN_ITEMS_PER_SHARD per shard at 2 shards).
+        type MakeFleet = fn(&RoadNetwork, &mut SimRng) -> Fleet;
+        let build: [(&RoadNetwork, MakeFleet); 2] = [
+            (&net, |net, rng| Fleet::urban(net, 1200, rng)),
+            (&hwy, |net, rng| Fleet::highway(2000.0, 1200, net, rng)),
+        ];
+        for (net, make) in build {
+            let mut seq_rng = SimRng::seed_from(77);
+            let mut sequential = make(net, &mut seq_rng);
+            for _ in 0..20 {
+                sequential.step_sharded(0.5, net, 1);
+            }
+            for shards in [2usize, 3, 8] {
+                let mut rng = SimRng::seed_from(77);
+                let mut sharded = make(net, &mut rng);
+                for _ in 0..20 {
+                    sharded.step_sharded(0.5, net, shards);
+                }
+                for i in 0..sequential.len() {
+                    let id = VehicleId(i as u32);
+                    assert_eq!(
+                        sequential.pos(id).x.to_bits(),
+                        sharded.pos(id).x.to_bits(),
+                        "x diverged at {shards} shards"
+                    );
+                    assert_eq!(
+                        sequential.velocity(id).y.to_bits(),
+                        sharded.velocity(id).y.to_bits(),
+                        "vy diverged at {shards} shards"
+                    );
+                }
+            }
+        }
     }
 
     #[test]
@@ -634,7 +835,7 @@ mod tests {
         let mut total_moved = 0.0;
         let mut last = fleet.positions()[0];
         for _ in 0..2000 {
-            fleet.step(0.5, &net, &mut rng);
+            fleet.step(0.5, &net);
             let now = fleet.positions()[0];
             total_moved += last.distance(now);
             last = now;

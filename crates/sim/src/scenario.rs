@@ -72,6 +72,11 @@ pub struct Scenario {
     pub rng: SimRng,
     /// Step size used by [`Scenario::tick`], seconds.
     pub dt: f64,
+    /// Worker-thread shards for the per-tick hot loops (mobility step,
+    /// radio delivery). Defaults to [`crate::shard::shard_count`] (the
+    /// `VC_SHARDS` knob); results are bitwise identical for every value —
+    /// only wall-clock changes. Override programmatically for sweeps.
+    pub shards: usize,
 }
 
 /// Builder for [`Scenario`] presets.
@@ -135,6 +140,7 @@ impl ScenarioBuilder {
             canyon: None,
             rng,
             dt: self.dt,
+            shards: crate::shard::shard_count(),
         }
     }
 
@@ -154,6 +160,7 @@ impl ScenarioBuilder {
             canyon: None,
             rng,
             dt: self.dt,
+            shards: crate::shard::shard_count(),
         }
     }
 
@@ -184,6 +191,7 @@ impl ScenarioBuilder {
             canyon: None,
             rng,
             dt: self.dt,
+            shards: crate::shard::shard_count(),
         }
     }
 
@@ -199,10 +207,12 @@ impl ScenarioBuilder {
 }
 
 impl Scenario {
-    /// Advances the world one `dt` step.
+    /// Advances the world one `dt` step, fanning the mobility update out
+    /// over [`Scenario::shards`] worker threads. The result is bitwise
+    /// identical for every shard count.
     pub fn tick(&mut self) {
         let dt = self.dt;
-        self.fleet.step(dt, &self.roadnet, &mut self.rng);
+        self.fleet.step_sharded(dt, &self.roadnet, self.shards);
     }
 
     /// Advances the world `n` steps.
@@ -219,7 +229,7 @@ impl Scenario {
     pub fn tick_probed(&mut self, at: SimTime, probe: Option<&mut dyn Probe>) {
         self.tick();
         if let Some(probe) = probe {
-            let online = self.fleet.vehicles().iter().filter(|v| v.online).count();
+            let online = self.fleet.online_count();
             probe.emit(
                 at,
                 "sim",
@@ -246,6 +256,14 @@ impl Scenario {
         1.0
     }
 
+    /// Reception probability for a single-hop transmission from `a` to `b`:
+    /// the channel's distance curve times the canyon obstruction factor.
+    /// Read-only, so the sharded radio phase can evaluate links in parallel
+    /// (each worker drawing from its own per-copy RNG stream).
+    pub fn delivery_probability(&self, a: Point, b: Point) -> f64 {
+        self.channel.reception_probability(a.distance(b)) * self.los_factor(a, b)
+    }
+
     /// Attempts a single-hop transmission between two positions, applying
     /// the channel's distance curve *and* the canyon obstruction. Returns
     /// the one-hop latency on success.
@@ -256,7 +274,7 @@ impl Scenario {
         contenders: usize,
         bytes: usize,
     ) -> Option<crate::time::SimDuration> {
-        let p = self.channel.reception_probability(a.distance(b)) * self.los_factor(a, b);
+        let p = self.delivery_probability(a, b);
         if !self.rng.chance(p) {
             return None;
         }
@@ -307,9 +325,12 @@ impl Scenario {
     /// reallocating both. Produces exactly what [`Scenario::neighbor_table`]
     /// returns.
     pub fn neighbor_table_into(&self, table: &mut NeighborTable, grid: &mut SpatialGrid) {
-        let positions = self.fleet.positions();
-        let online: Vec<bool> = self.fleet.vehicles().iter().map(|v| v.online).collect();
-        table.rebuild(grid, &positions, &online, self.channel.range_m);
+        table.rebuild(
+            grid,
+            self.fleet.positions(),
+            self.fleet.online_flags(),
+            self.channel.range_m,
+        );
     }
 
     /// Measures neighbor churn over `ticks` steps: the mean number of
@@ -391,9 +412,9 @@ mod tests {
         let mut b = ScenarioBuilder::new();
         b.seed(3).vehicles(20);
         let mut s = b.urban_with_rsus();
-        let before = s.fleet.positions();
+        let before = s.fleet.positions().to_vec();
         s.run_ticks(60);
-        let after = s.fleet.positions();
+        let after = s.fleet.positions().to_vec();
         let moved = before.iter().zip(&after).filter(|(a, b)| a.distance(**b) > 1.0).count();
         assert!(moved > 10);
     }
@@ -503,7 +524,7 @@ mod tests {
             b.seed(seed).vehicles(15);
             let mut s = b.urban_with_rsus();
             s.run_ticks(50);
-            s.fleet.positions()
+            s.fleet.positions().to_vec()
         };
         assert_eq!(run(9), run(9));
     }

@@ -63,15 +63,16 @@ impl Trace {
 
     /// Records the whole fleet at `now`.
     pub fn record(&mut self, now: SimTime, fleet: &Fleet) {
-        for v in fleet.vehicles() {
+        let (pos, vel, online) = (fleet.positions(), fleet.velocities(), fleet.online_flags());
+        for i in 0..fleet.len() {
             self.samples.push(TraceSample {
                 at: now,
-                vehicle: v.id(),
-                x: v.kinematics.pos.x,
-                y: v.kinematics.pos.y,
-                vx: v.kinematics.velocity.x,
-                vy: v.kinematics.velocity.y,
-                online: v.online,
+                vehicle: VehicleId(i as u32),
+                x: pos[i].x,
+                y: pos[i].y,
+                vx: vel[i].x,
+                vy: vel[i].y,
+                online: online[i],
             });
         }
     }
@@ -215,7 +216,7 @@ mod tests {
         let mut trace = Trace::new();
         let mut now = SimTime::ZERO;
         for _ in 0..ticks {
-            fleet.step(0.5, &net, &mut rng);
+            fleet.step(0.5, &net);
             now += SimDuration::from_millis(500);
             trace.record(now, &fleet);
         }

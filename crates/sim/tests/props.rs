@@ -3,6 +3,7 @@
 use vc_sim::event::EventQueue;
 use vc_sim::geom::{Point, Rect, Segment, SpatialGrid};
 use vc_sim::metrics::Summary;
+use vc_sim::mobility::Fleet;
 use vc_sim::rng::SimRng;
 use vc_sim::roadnet::{NodeId, RoadNetwork};
 use vc_sim::time::{SimDuration, SimTime};
@@ -209,5 +210,41 @@ prop! {
         prop_assert!(p25 <= p50 && p50 <= p99);
         prop_assert!(s.min() <= p25 && p99 <= s.max());
         prop_assert!(s.mean() >= s.min() - 1e-9 && s.mean() <= s.max() + 1e-9);
+    }
+
+    // ---- sharded mobility determinism ----
+
+    #[test]
+    fn sharded_fleet_step_is_bitwise_equal_to_sequential(
+        seed in any_u64(),
+        regime in 0u8..3,
+        shards in 2usize..9,
+        n in 520usize..800,
+        ticks in 1usize..5,
+    ) {
+        // Sizes start past MIN_ITEMS_PER_SHARD so the plan genuinely fans
+        // out; every (regime, seed, shard count) must reproduce the
+        // sequential trajectory bit for bit.
+        let net = RoadNetwork::grid(5, 5, 120.0, 13.9);
+        let mk = || {
+            let mut rng = SimRng::seed_from(seed);
+            match regime {
+                0 => Fleet::urban(&net, n, &mut rng),
+                1 => Fleet::highway(3_000.0, n, &net, &mut rng),
+                _ => Fleet::parking_lot(Point::new(0.0, 0.0), n, &net, &mut rng),
+            }
+        };
+        let mut seq = mk();
+        let mut par = mk();
+        for _ in 0..ticks {
+            seq.step_sharded(0.5, &net, 1);
+            par.step_sharded(0.5, &net, shards);
+        }
+        for i in 0..n {
+            prop_assert_eq!(seq.positions()[i].x.to_bits(), par.positions()[i].x.to_bits());
+            prop_assert_eq!(seq.positions()[i].y.to_bits(), par.positions()[i].y.to_bits());
+            prop_assert_eq!(seq.velocities()[i].x.to_bits(), par.velocities()[i].x.to_bits());
+            prop_assert_eq!(seq.velocities()[i].y.to_bits(), par.velocities()[i].y.to_bits());
+        }
     }
 }

@@ -80,7 +80,7 @@ fn main() {
         scenario.tick();
         let table = scenario.neighbor_table();
         let positions = scenario.fleet.positions();
-        modes.gossip_round(&table, &positions, &channel, &mut scenario.rng);
+        modes.gossip_round(&table, positions, &channel, &mut scenario.rng);
         rounds += 1;
     }
     println!(

@@ -147,7 +147,7 @@ fn emergency_gossip_reaches_moving_fleet() {
         scenario.tick();
         let table = scenario.neighbor_table();
         let positions = scenario.fleet.positions();
-        modes.gossip_round(&table, &positions, &channel, &mut scenario.rng);
+        modes.gossip_round(&table, positions, &channel, &mut scenario.rng);
         rounds += 1;
     }
     assert!(

@@ -64,15 +64,11 @@ fn clusters_remain_valid_while_fleet_moves() {
     let rounds = 30;
     for _ in 0..rounds {
         scenario.run_ticks(4);
-        let positions = scenario.fleet.positions();
-        let velocities: Vec<_> =
-            scenario.fleet.vehicles().iter().map(|v| v.kinematics.velocity).collect();
-        let online: Vec<bool> = scenario.fleet.vehicles().iter().map(|v| v.online).collect();
         let table = scenario.neighbor_table();
         let world = WorldView {
-            positions: &positions,
-            velocities: &velocities,
-            online: &online,
+            positions: scenario.fleet.positions(),
+            velocities: scenario.fleet.velocities(),
+            online: scenario.fleet.online_flags(),
             neighbors: &table,
         };
         let clustering = form_clusters(&world, &config);
@@ -101,15 +97,11 @@ fn moving_zones_are_more_stable_than_plain_clusters_on_highway() {
         let rounds = 25;
         for _ in 0..rounds {
             scenario.run_ticks(4);
-            let positions = scenario.fleet.positions();
-            let velocities: Vec<_> =
-                scenario.fleet.vehicles().iter().map(|v| v.kinematics.velocity).collect();
-            let online: Vec<bool> = scenario.fleet.vehicles().iter().map(|v| v.online).collect();
             let table = scenario.neighbor_table();
             let world = WorldView {
-                positions: &positions,
-                velocities: &velocities,
-                online: &online,
+                positions: scenario.fleet.positions(),
+                velocities: scenario.fleet.velocities(),
+                online: scenario.fleet.online_flags(),
                 neighbors: &table,
             };
             let clustering = form_clusters(&world, &cfg);
@@ -138,7 +130,7 @@ fn packets_survive_holder_churn() {
     sim.run_rounds(30);
     // Knock 10 vehicles offline mid-flight.
     for v in 0..10u32 {
-        sim.scenario_mut().fleet.vehicle_mut(VehicleId(v * 3)).online = false;
+        sim.scenario_mut().fleet.set_online(VehicleId(v * 3), false);
     }
     sim.run_rounds(120);
     assert!(sim.stats().delivery_ratio() > 0.5, "ratio {}", sim.stats().delivery_ratio());
