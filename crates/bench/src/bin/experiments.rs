@@ -1,10 +1,10 @@
-//! The experiment table generator: prints E1..E16 (see DESIGN.md §4).
+//! The experiment table generator: prints E1..E17 (see DESIGN.md §4).
 
 use std::io::Write;
 use vc_bench::experiments::registry;
 
 const USAGE: &str = "usage: experiments [--quick] [--seed N] [--json DIR] [--trace FILE] \
-     [--profile FILE] [--folded FILE] [--metrics] [--list] [e1..e16 ...]";
+     [--timeseries FILE] [--profile FILE] [--folded FILE] [--metrics] [--list] [e1..e17 ...]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -12,6 +12,7 @@ fn main() {
     let mut seed: u64 = 42;
     let mut json_dir: Option<String> = None;
     let mut trace_path: Option<String> = None;
+    let mut timeseries_path: Option<String> = None;
     let mut profile_path: Option<String> = None;
     let mut folded_path: Option<String> = None;
     let mut metrics = false;
@@ -41,6 +42,13 @@ fn main() {
                 i += 1;
                 trace_path = Some(args.get(i).cloned().unwrap_or_else(|| {
                     eprintln!("--trace needs a file path");
+                    std::process::exit(2);
+                }));
+            }
+            "--timeseries" => {
+                i += 1;
+                timeseries_path = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--timeseries needs a file path");
                     std::process::exit(2);
                 }));
             }
@@ -80,7 +88,7 @@ fn main() {
         .collect();
 
     if selected.is_empty() {
-        eprintln!("no experiments matched {wanted:?}; known: e1..e16 (see --list)");
+        eprintln!("no experiments matched {wanted:?}; known: e1..e17 (see --list)");
         std::process::exit(2);
     }
 
@@ -107,11 +115,17 @@ fn main() {
     // call tree. Profiling is wall-clock-only and never touches the
     // recorder, so the trace stays byte-identical with or without it.
     let profiling = profile_path.is_some() || folded_path.is_some();
-    if trace_path.is_some() || metrics || profiling {
+    let recording = trace_path.is_some() || metrics || timeseries_path.is_some();
+    if recording || profiling {
         if profiling {
             vc_obs::profile::install(vc_obs::profile::Profiler::new());
         }
-        let mut rec = (trace_path.is_some() || metrics).then(vc_obs::Recorder::new);
+        let mut rec = recording.then(vc_obs::Recorder::new);
+        if timeseries_path.is_some() {
+            // One sample per simulation round, windowed to the most recent
+            // ticks (the trailer records how many older ones rolled off).
+            rec.as_mut().expect("recording is on").enable_timeseries(4096);
+        }
         for exp in &selected {
             let _exp = vc_obs::profile::frame(exp.id);
             let start = std::time::Instant::now();
@@ -130,6 +144,15 @@ fn main() {
                 rec.write_jsonl(&mut f).expect("write trace");
                 f.flush().expect("flush trace");
                 eprintln!("trace: {} events -> {path} ({} dropped)", rec.len(), rec.dropped());
+            }
+            if let Some(path) = &timeseries_path {
+                let ts = rec.timeseries().expect("enabled above");
+                let mut f = std::io::BufWriter::new(
+                    std::fs::File::create(path).expect("create timeseries file"),
+                );
+                ts.write_jsonl(&mut f).expect("write timeseries");
+                f.flush().expect("flush timeseries");
+                eprintln!("timeseries: {} ticks -> {path} ({} dropped)", ts.len(), ts.dropped());
             }
             if metrics {
                 print_metrics(rec.hub());

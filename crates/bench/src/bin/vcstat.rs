@@ -6,6 +6,9 @@
 //! vcstat out.jsonl --by-kind       # latency breakdown per component.kind
 //! vcstat out.jsonl --critical-path # longest nested-span chain per component
 //! vcstat out.jsonl --histograms    # p50/p90/p99 + sparkline per component.kind
+//! vcstat out.jsonl --causal        # causal chains: e2e percentiles, hops, slowest
+//! vcstat ts.jsonl --timeline       # per-tick metric evolution (timeseries file)
+//! vcstat out.jsonl --causal --json # machine-readable output for any mode
 //! ```
 //!
 //! Reads the event stream back with `vc_testkit`'s JSON parser (the same
@@ -16,11 +19,27 @@
 //! Every line must be a JSON object with a numeric `at_us` and string
 //! `component` / `kind`; a malformed or truncated line aborts with the
 //! offending line number and a nonzero exit, so a corrupt trace never
-//! yields silently wrong statistics.
+//! yields silently wrong statistics. Ring-mode traces end in an
+//! `obs`/`trace.end` trailer: it is kept out of the component tables, and a
+//! nonzero dropped count triggers a loud truncation warning since every
+//! other number then reflects only the retained window.
 
 use std::collections::{BTreeMap, HashMap};
 use vc_obs::Histogram;
 use vc_testkit::json::Json;
+
+/// One end-to-end causal chain reassembled from its `causal.*` events.
+#[derive(Default)]
+struct TraceChain {
+    /// (packet, src, dst, at_us) from `causal.origin`.
+    origin: Option<(u64, u64, u64, u64)>,
+    /// (hop, from, to, latency_us) from each `causal.hop`.
+    hops: Vec<(u64, u64, u64, u64)>,
+    /// (hops, relay, dst, e2e_s) from `causal.deliver`.
+    deliver: Option<(u64, u64, u64, f64)>,
+    /// Copies that died with their holder (`causal.drop` count).
+    drops: u64,
+}
 
 struct SpanRow {
     elapsed_us: u64,
@@ -47,8 +66,8 @@ fn die(msg: String) -> ! {
     std::process::exit(1);
 }
 
-const USAGE: &str =
-    "usage: vcstat TRACE.jsonl [--top N] [--by-kind] [--critical-path] [--histograms]";
+const USAGE: &str = "usage: vcstat TRACE.jsonl [--top N] [--by-kind] [--critical-path] \
+[--histograms] [--causal] [--json]\n       vcstat TIMESERIES.jsonl --timeline [--json]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -57,6 +76,9 @@ fn main() {
     let mut by_kind = false;
     let mut critical_path = false;
     let mut histograms = false;
+    let mut causal = false;
+    let mut timeline = false;
+    let mut json_out = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -70,6 +92,9 @@ fn main() {
             "--by-kind" => by_kind = true,
             "--critical-path" => critical_path = true,
             "--histograms" => histograms = true,
+            "--causal" => causal = true,
+            "--timeline" => timeline = true,
+            "--json" => json_out = true,
             flag if flag.starts_with("--") => {
                 eprintln!("unknown flag {flag}; {USAGE}");
                 std::process::exit(2);
@@ -82,6 +107,10 @@ fn main() {
         eprintln!("{USAGE}");
         std::process::exit(2);
     };
+    if timeline {
+        run_timeline(&path, json_out);
+        return;
+    }
     let text =
         std::fs::read_to_string(&path).unwrap_or_else(|e| die(format!("cannot read {path}: {e}")));
 
@@ -94,6 +123,10 @@ fn main() {
     // component.kind -> log-scale histogram of elapsed_us, rebuilt from the
     // span-end events (the same shape `MetricsHub` would have recorded live).
     let mut hists: BTreeMap<String, Histogram> = BTreeMap::new();
+    // trace id -> reassembled causal chain (BTreeMap for stable output).
+    let mut chains: BTreeMap<u64, TraceChain> = BTreeMap::new();
+    // (retained, dropped) from a ring-mode `obs`/`trace.end` trailer.
+    let mut trailer: Option<(u64, u64)> = None;
     let mut events = 0u64;
     let mut first_us = u64::MAX;
     let mut last_us = 0u64;
@@ -117,6 +150,19 @@ fn main() {
         let Some(kind) = doc["kind"].as_str().map(str::to_owned) else {
             die(format!("{path}:{lineno}: event lacks string \"kind\""));
         };
+        // The ring-mode trailer is metadata about the log itself, not a
+        // trace event: keep it out of the tables and counts.
+        if component == "obs" && kind == "trace.end" {
+            let retained = field(&doc, "retained")
+                .unwrap_or_else(|| die(format!("{path}:{lineno}: trace.end lacks \"retained\"")));
+            let dropped = field(&doc, "dropped")
+                .unwrap_or_else(|| die(format!("{path}:{lineno}: trace.end lacks \"dropped\"")));
+            trailer = Some((retained as u64, dropped as u64));
+            continue;
+        }
+        if kind.starts_with("causal.") {
+            record_causal(&mut chains, &kind, &doc, &path, lineno);
+        }
         events += 1;
         first_us = first_us.min(at_us);
         last_us = last_us.max(at_us);
@@ -161,6 +207,51 @@ fn main() {
         *by_component.entry(component).or_default().entry(kind).or_default() += 1;
     }
 
+    if json_out {
+        let mut root: Vec<(String, Json)> = Vec::new();
+        let mut summary: Vec<(String, Json)> = vec![
+            ("events".into(), Json::from(events)),
+            ("components".into(), Json::from(by_component.len() as u64)),
+            ("first_us".into(), Json::from(if events == 0 { 0 } else { first_us })),
+            ("last_us".into(), Json::from(last_us)),
+            (
+                "kinds".into(),
+                Json::Obj(
+                    by_component
+                        .iter()
+                        .map(|(c, kinds)| {
+                            (
+                                c.clone(),
+                                Json::Obj(
+                                    kinds
+                                        .iter()
+                                        .map(|(k, n)| (k.clone(), Json::from(*n)))
+                                        .collect(),
+                                ),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ];
+        if let Some((retained, dropped)) = trailer {
+            summary.push((
+                "ring".into(),
+                Json::object([
+                    ("retained", Json::from(retained)),
+                    ("dropped", Json::from(dropped)),
+                    ("truncated", Json::from(dropped > 0)),
+                ]),
+            ));
+        }
+        root.push(("summary".into(), Json::Obj(summary)));
+        if causal {
+            root.push(("causal".into(), causal_json(&chains, top)));
+        }
+        println!("{}", Json::Obj(root).to_string_pretty());
+        return;
+    }
+
     if events == 0 {
         println!("vcstat: {path}: no events");
         return;
@@ -171,6 +262,14 @@ fn main() {
         first_us as f64 / 1e6,
         last_us as f64 / 1e6,
     );
+    if let Some((retained, dropped)) = trailer {
+        if dropped > 0 {
+            println!(
+                "!!! TRUNCATED TRACE: the ring buffer dropped {dropped} events and kept the \
+{retained} most recent\n!!! every count below reflects only the retained window\n"
+            );
+        }
+    }
 
     let kind_width = by_component
         .values()
@@ -195,6 +294,9 @@ fn main() {
     }
     if critical_path {
         print_critical_path(&nodes);
+    }
+    if causal {
+        print_causal(&chains, top);
     }
 
     if spans.is_empty() {
@@ -290,6 +392,394 @@ fn print_histograms(hists: &BTreeMap<String, Histogram>) {
             h.approx_percentile(0.99).unwrap_or(0.0),
             sparkline(h),
         );
+    }
+}
+
+/// Reads a numeric field from an event's `fields` object.
+fn field(doc: &Json, key: &str) -> Option<f64> {
+    doc["fields"][key].as_f64()
+}
+
+/// Folds one `causal.*` event into its trace's chain, validating the
+/// fields each kind is documented to carry (`vc_obs::causal`).
+fn record_causal(
+    chains: &mut BTreeMap<u64, TraceChain>,
+    kind: &str,
+    doc: &Json,
+    path: &str,
+    lineno: usize,
+) {
+    let need = |key: &str| {
+        field(doc, key)
+            .unwrap_or_else(|| die(format!("{path}:{lineno}: {kind} lacks numeric \"{key}\"")))
+    };
+    let trace = need("trace") as u64;
+    let chain = chains.entry(trace).or_default();
+    match kind {
+        "causal.origin" => {
+            let at_us = doc["at_us"].as_f64().expect("validated by caller") as u64;
+            chain.origin =
+                Some((need("packet") as u64, need("src") as u64, need("dst") as u64, at_us));
+        }
+        "causal.hop" => {
+            chain.hops.push((
+                need("hop") as u64,
+                need("from") as u64,
+                need("to") as u64,
+                need("latency_us") as u64,
+            ));
+        }
+        "causal.deliver" => {
+            chain.deliver = Some((
+                need("hops") as u64,
+                need("relay") as u64,
+                need("dst") as u64,
+                need("e2e_s"),
+            ));
+        }
+        "causal.drop" => chain.drops += 1,
+        other => die(format!("{path}:{lineno}: unknown causal event \"{other}\"")),
+    }
+}
+
+/// Walks the delivered path backwards from the delivering relay to the
+/// source. Each relay appears at most once per packet (the carried-set
+/// dedup), so the walk is unambiguous. Returns `(vehicle, latency_us into
+/// this vehicle)` pairs from the source (latency 0) to the relay.
+fn delivered_route(chain: &TraceChain) -> Vec<(u64, u64)> {
+    let (Some((_, src, _, _)), Some((_, relay, _, _))) = (chain.origin, chain.deliver) else {
+        return Vec::new();
+    };
+    let by_to: HashMap<u64, (u64, u64)> =
+        chain.hops.iter().map(|&(_, from, to, lat)| (to, (from, lat))).collect();
+    let mut route = vec![];
+    let mut at = relay;
+    while at != src {
+        let Some(&(from, lat)) = by_to.get(&at) else {
+            break; // incomplete chain (e.g. truncated ring window)
+        };
+        route.push((at, lat));
+        at = from;
+    }
+    route.push((at, 0));
+    route.reverse();
+    route
+}
+
+/// Exact percentile over a sorted slice (nearest-rank on the closed index).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Delivered chains sorted slowest-first (ties: trace id), plus the sorted
+/// e2e latencies and the hop-count distribution — the shared core of the
+/// text and JSON causal reports.
+#[allow(clippy::type_complexity)]
+fn causal_rollup(
+    chains: &BTreeMap<u64, TraceChain>,
+) -> (Vec<(u64, &TraceChain, f64)>, Vec<f64>, BTreeMap<u64, u64>) {
+    let mut delivered: Vec<(u64, &TraceChain, f64)> =
+        chains.iter().filter_map(|(&t, c)| c.deliver.map(|(_, _, _, e2e)| (t, c, e2e))).collect();
+    delivered
+        .sort_by(|a, b| b.2.partial_cmp(&a.2).expect("latencies are finite").then(a.0.cmp(&b.0)));
+    let mut lats: Vec<f64> = delivered.iter().map(|&(_, _, e2e)| e2e).collect();
+    lats.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let mut hop_dist: BTreeMap<u64, u64> = BTreeMap::new();
+    for (_, c, _) in &delivered {
+        let (hops, _, _, _) = c.deliver.expect("filtered to delivered");
+        *hop_dist.entry(hops).or_default() += 1;
+    }
+    (delivered, lats, hop_dist)
+}
+
+/// Renders one delivered chain as `src -> relay (lat) -> ... -> dst`.
+fn route_string(chain: &TraceChain) -> String {
+    let (_, _, dst, _) = chain.deliver.expect("caller filters to delivered");
+    let mut out = String::new();
+    for (i, (v, lat)) in delivered_route(chain).into_iter().enumerate() {
+        if i == 0 {
+            out.push_str(&format!("v{v}"));
+        } else {
+            out.push_str(&format!(" -> v{v} ({lat}us)"));
+        }
+    }
+    out.push_str(&format!(" => v{dst}"));
+    out
+}
+
+/// The `--causal` report: delivery percentiles, the hop-count
+/// distribution, and the slowest end-to-end chains.
+fn print_causal(chains: &BTreeMap<u64, TraceChain>, top: usize) {
+    println!("\ncausal traces");
+    if chains.is_empty() {
+        println!("  no causal events (sampling off? see VC_TRACE_SAMPLE)");
+        return;
+    }
+    let (delivered, lats, hop_dist) = causal_rollup(chains);
+    let unresolved = chains.len() - delivered.len();
+    let drops: u64 = chains.values().map(|c| c.drops).sum();
+    println!(
+        "  {} traces: {} delivered, {} unresolved, {} dropped copies",
+        chains.len(),
+        delivered.len(),
+        unresolved,
+        drops
+    );
+    if delivered.is_empty() {
+        return;
+    }
+    println!(
+        "  e2e delivery latency: p50 {:.3}s  p90 {:.3}s  p99 {:.3}s",
+        percentile(&lats, 0.50),
+        percentile(&lats, 0.90),
+        percentile(&lats, 0.99),
+    );
+    println!("\n  hop-count distribution (delivered traces)");
+    let peak = *hop_dist.values().max().expect("delivered is non-empty");
+    for (hops, count) in &hop_dist {
+        let bar = "#".repeat(((count * 40).div_ceil(peak)) as usize);
+        println!("  {hops:>4} hops  {count:>6}  {bar}");
+    }
+    println!("\n  top {} slowest causal chains", top.min(delivered.len()));
+    for (trace, chain, e2e) in delivered.iter().take(top) {
+        let (hops, _, _, _) = chain.deliver.expect("filtered to delivered");
+        println!("  {e2e:>9.3}s  {hops:>3} hops  trace {trace:<16}  {}", route_string(chain));
+    }
+}
+
+/// The `--causal --json` document (same rollup as [`print_causal`]).
+fn causal_json(chains: &BTreeMap<u64, TraceChain>, top: usize) -> Json {
+    let (delivered, lats, hop_dist) = causal_rollup(chains);
+    let drops: u64 = chains.values().map(|c| c.drops).sum();
+    Json::object([
+        ("traces", Json::from(chains.len() as u64)),
+        ("delivered", Json::from(delivered.len() as u64)),
+        ("unresolved", Json::from((chains.len() - delivered.len()) as u64)),
+        ("dropped_copies", Json::from(drops)),
+        (
+            "e2e_latency_s",
+            Json::object([
+                ("p50", Json::from(percentile(&lats, 0.50))),
+                ("p90", Json::from(percentile(&lats, 0.90))),
+                ("p99", Json::from(percentile(&lats, 0.99))),
+            ]),
+        ),
+        (
+            "hop_distribution",
+            Json::Obj(hop_dist.iter().map(|(h, n)| (h.to_string(), Json::from(*n))).collect()),
+        ),
+        (
+            "slowest",
+            Json::array(delivered.iter().take(top).map(|(trace, chain, e2e)| {
+                let (hops, _, dst, _) = chain.deliver.expect("filtered to delivered");
+                Json::object([
+                    ("trace", Json::from(*trace)),
+                    ("e2e_s", Json::from(*e2e)),
+                    ("hops", Json::from(hops)),
+                    ("dst", Json::from(dst)),
+                    (
+                        "route",
+                        Json::array(delivered_route(chain).into_iter().map(|(v, _)| Json::from(v))),
+                    ),
+                ])
+            })),
+        ),
+    ])
+}
+
+/// Renders a time-ordered series as a fixed-alphabet sparkline, chunking
+/// (by mean) down to at most 60 columns.
+fn series_sparkline(values: &[f64]) -> String {
+    const LEVELS: [char; 8] = ['.', ':', '-', '=', '+', '*', '#', '@'];
+    const MAX_COLS: usize = 60;
+    if values.is_empty() {
+        return String::new();
+    }
+    let chunk = values.len().div_ceil(MAX_COLS);
+    let cols: Vec<f64> =
+        values.chunks(chunk).map(|c| c.iter().sum::<f64>() / c.len() as f64).collect();
+    let peak = cols.iter().cloned().fold(0.0f64, f64::max);
+    cols.into_iter()
+        .map(|v| {
+            if v <= 0.0 || peak <= 0.0 {
+                ' '
+            } else {
+                let level = ((v / peak) * (LEVELS.len() - 1) as f64).ceil() as usize;
+                LEVELS[level.min(LEVELS.len() - 1)]
+            }
+        })
+        .collect()
+}
+
+/// Per-metric rollup of a time-series file: the tick-ordered values plus
+/// spike ticks (value > 4x the median over active ticks, needing at least
+/// 4 active ticks so sparse metrics don't self-flag).
+struct MetricSeries {
+    values: Vec<f64>,
+    total: f64,
+    peak: f64,
+    peak_tick: u64,
+    spikes: Vec<u64>,
+}
+
+fn metric_rollup(ticks: &[u64], values: Vec<f64>) -> MetricSeries {
+    let total = values.iter().sum();
+    let (mut peak, mut peak_tick) = (0.0f64, 0u64);
+    for (i, &v) in values.iter().enumerate() {
+        if v > peak {
+            peak = v;
+            peak_tick = ticks[i];
+        }
+    }
+    let mut active: Vec<f64> = values.iter().copied().filter(|&v| v > 0.0).collect();
+    active.sort_by(|a, b| a.partial_cmp(b).expect("finite metric values"));
+    let spikes = if active.len() >= 4 {
+        let median = active[active.len() / 2];
+        values
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| v > 4.0 * median)
+            .map(|(i, _)| ticks[i])
+            .collect()
+    } else {
+        Vec::new()
+    };
+    MetricSeries { values, total, peak, peak_tick, spikes }
+}
+
+/// The `--timeline` mode: parses a time-series JSONL file (header line +
+/// one per-tick sample per line, as written by `experiments --timeseries`)
+/// and reports how each metric evolved tick over tick.
+fn run_timeline(path: &str, json_out: bool) {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(format!("cannot read {path}: {e}")));
+    let mut lines =
+        text.lines().enumerate().map(|(n, l)| (n + 1, l)).filter(|(_, l)| !l.trim().is_empty());
+    let Some((lineno, header_line)) = lines.next() else {
+        die(format!("{path}: empty time-series file"));
+    };
+    let header =
+        Json::parse(header_line).unwrap_or_else(|e| die(format!("{path}:{lineno}: bad JSON: {e}")));
+    let meta = &header["timeseries"];
+    if !matches!(meta, Json::Obj(_)) {
+        die(format!(
+            "{path}:{lineno}: not a time-series file (missing \"timeseries\" header; \
+did you mean vcstat without --timeline?)"
+        ));
+    }
+    let capacity = meta["capacity"].as_f64().unwrap_or(0.0) as u64;
+    let dropped = meta["dropped"].as_f64().unwrap_or(0.0) as u64;
+
+    // tick number and sim-time per retained sample, in file order.
+    let mut ticks: Vec<u64> = Vec::new();
+    let mut at_us: Vec<u64> = Vec::new();
+    // metric -> per-sample value (missing samples fill as 0).
+    let mut series: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for (lineno, line) in lines {
+        let doc =
+            Json::parse(line).unwrap_or_else(|e| die(format!("{path}:{lineno}: bad JSON: {e}")));
+        let Some(tick) = doc["tick"].as_f64() else {
+            die(format!("{path}:{lineno}: sample lacks numeric \"tick\""));
+        };
+        let Some(at) = doc["at_us"].as_f64() else {
+            die(format!("{path}:{lineno}: sample lacks numeric \"at_us\""));
+        };
+        let sample_idx = ticks.len();
+        ticks.push(tick as u64);
+        at_us.push(at as u64);
+        for section in ["counters", "gauges", "histogram_counts"] {
+            let Json::Obj(pairs) = &doc[section] else { continue };
+            for (name, value) in pairs {
+                let Some(v) = value.as_f64() else {
+                    die(format!("{path}:{lineno}: non-numeric value for \"{name}\""));
+                };
+                let values = series.entry(name.clone()).or_default();
+                values.resize(sample_idx, 0.0);
+                values.push(v);
+            }
+        }
+    }
+    for values in series.values_mut() {
+        values.resize(ticks.len(), 0.0);
+    }
+    let rollups: BTreeMap<&String, MetricSeries> =
+        series.iter().map(|(name, values)| (name, metric_rollup(&ticks, values.clone()))).collect();
+
+    if json_out {
+        let doc = Json::object([(
+            "timeline",
+            Json::object([
+                ("ticks", Json::from(ticks.len() as u64)),
+                ("capacity", Json::from(capacity)),
+                ("dropped", Json::from(dropped)),
+                (
+                    "metrics",
+                    Json::Obj(
+                        rollups
+                            .iter()
+                            .map(|(name, m)| {
+                                (
+                                    (*name).clone(),
+                                    Json::object([
+                                        ("total", Json::from(m.total)),
+                                        ("peak", Json::from(m.peak)),
+                                        ("peak_tick", Json::from(m.peak_tick)),
+                                        (
+                                            "spike_ticks",
+                                            Json::array(m.spikes.iter().map(|&t| Json::from(t))),
+                                        ),
+                                    ]),
+                                )
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        )]);
+        println!("{}", doc.to_string_pretty());
+        return;
+    }
+
+    if ticks.is_empty() {
+        println!("timeline — {path}: header only, no samples");
+        return;
+    }
+    println!(
+        "timeline — {} ticks (window capacity {capacity}, dropped {dropped}), sim-time \
+{:.3}s..{:.3}s\n",
+        ticks.len(),
+        at_us[0] as f64 / 1e6,
+        at_us[at_us.len() - 1] as f64 / 1e6,
+    );
+    if dropped > 0 {
+        println!(
+            "!!! TRUNCATED WINDOW: {dropped} older ticks fell out of the ring; totals below \
+cover only the retained window\n"
+        );
+    }
+    let name_width = rollups.keys().map(|n| n.len()).max().unwrap_or(6).max(6);
+    println!(
+        "{:<name_width$}  {:>12}  {:>10}  {:>10}  {:>6}  spikes",
+        "metric", "total", "mean/tick", "peak", "@tick"
+    );
+    for (name, m) in &rollups {
+        let spikes = if m.spikes.is_empty() {
+            "-".to_owned()
+        } else {
+            m.spikes.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(",")
+        };
+        println!(
+            "{name:<name_width$}  {:>12.0}  {:>10.2}  {:>10.0}  {:>6}  {spikes}",
+            m.total,
+            m.total / ticks.len() as f64,
+            m.peak,
+            m.peak_tick,
+        );
+        println!("{:<name_width$}  |{}|", "", series_sparkline(&m.values));
     }
 }
 

@@ -15,13 +15,15 @@ fn run_protocol<P: RoutingProtocol>(
     packets: usize,
     rounds: usize,
     protocol: P,
-    rec: Option<&mut vc_obs::Recorder>,
+    mut rec: Option<&mut vc_obs::Recorder>,
 ) -> RoutingStats {
     let mut builder = ScenarioBuilder::new();
     builder.seed(seed).vehicles(vehicles);
     let mut scenario = builder.urban_with_rsus();
     let mut sim = NetSim::new(&mut scenario, protocol);
-    sim.send_random_pairs(packets, 256);
+    // The obs send variant opens causal chains for sampled packets
+    // (VC_TRACE_SAMPLE); with sampling off it is the plain path.
+    sim.send_random_pairs_obs(packets, 256, vc_obs::reborrow(&mut rec));
     sim.run_rounds_obs(rounds, rec);
     sim.into_stats()
 }

@@ -1,4 +1,4 @@
-//! The per-experiment modules E1..E16 (see DESIGN.md §4 for the index).
+//! The per-experiment modules E1..E17 (see DESIGN.md §4 for the index).
 
 pub mod e1;
 pub mod e10;
@@ -8,6 +8,7 @@ pub mod e13;
 pub mod e14;
 pub mod e15;
 pub mod e16;
+pub mod e17;
 pub mod e2;
 pub mod e3;
 pub mod e4;
@@ -22,7 +23,7 @@ use vc_obs::Recorder;
 
 /// An experiment's id, one-line description, and runner.
 pub struct Experiment {
-    /// "e1" … "e16".
+    /// "e1" … "e17".
     pub id: &'static str,
     /// One-line description (shown by `experiments --list`).
     pub desc: &'static str,
@@ -97,6 +98,11 @@ pub fn registry() -> Vec<Experiment> {
             desc: "sharded simulation-core throughput (VC_SHARDS sweep)",
             run: e16::run,
         },
+        Experiment {
+            id: "e17",
+            desc: "causal tracing overhead by sample rate (VC_TRACE_SAMPLE sweep)",
+            run: e17::run,
+        },
     ]
 }
 
@@ -111,7 +117,7 @@ mod tests {
             ids,
             vec![
                 "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-                "e14", "e15", "e16"
+                "e14", "e15", "e16", "e17"
             ]
         );
         for exp in registry() {

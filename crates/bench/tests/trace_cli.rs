@@ -106,6 +106,108 @@ fn vcstat_rejects_a_corrupt_trace_with_the_line_number() {
 }
 
 #[test]
+fn causal_timeline_and_json_modes_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("vc_causal_cli_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let trace = dir.join("e8.jsonl");
+    let ts = dir.join("ts.jsonl");
+    let out = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(["--quick", "--seed", "7", "--trace"])
+        .arg(&trace)
+        .arg("--timeseries")
+        .arg(&ts)
+        .arg("e8")
+        .env("VC_TRACE_SAMPLE", "1")
+        .output()
+        .expect("experiments runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+
+    // --causal reconstructs chains with percentiles and hop distribution.
+    let causal = Command::new(env!("CARGO_BIN_EXE_vcstat"))
+        .arg(&trace)
+        .arg("--causal")
+        .output()
+        .expect("vcstat runs");
+    assert!(causal.status.success(), "stderr: {}", String::from_utf8_lossy(&causal.stderr));
+    let report = String::from_utf8_lossy(&causal.stdout).into_owned();
+    assert!(report.contains("causal traces"), "report: {report}");
+    assert!(report.contains("e2e delivery latency: p50"), "report: {report}");
+    assert!(report.contains("hop-count distribution"), "report: {report}");
+    assert!(report.contains("slowest causal chains"), "report: {report}");
+
+    // --causal --json is machine-readable and consistent with the registry.
+    let json = Command::new(env!("CARGO_BIN_EXE_vcstat"))
+        .arg(&trace)
+        .args(["--causal", "--json"])
+        .output()
+        .expect("vcstat runs");
+    assert!(json.status.success());
+    let doc = vc_testkit::json::Json::parse(&String::from_utf8_lossy(&json.stdout))
+        .expect("valid JSON output");
+    assert!(doc["summary"]["events"].as_f64().unwrap_or(0.0) > 0.0);
+    assert!(doc["causal"]["traces"].as_f64().unwrap_or(0.0) > 0.0);
+    assert!(doc["causal"]["e2e_latency_s"]["p50"].as_f64().is_some());
+
+    // --timeline renders the per-tick evolution from the timeseries file.
+    let timeline = Command::new(env!("CARGO_BIN_EXE_vcstat"))
+        .arg(&ts)
+        .arg("--timeline")
+        .output()
+        .expect("vcstat runs");
+    assert!(timeline.status.success(), "stderr: {}", String::from_utf8_lossy(&timeline.stderr));
+    let report = String::from_utf8_lossy(&timeline.stdout).into_owned();
+    assert!(report.contains("timeline —"), "report: {report}");
+    assert!(report.contains("net.routing.deliver"), "report: {report}");
+
+    let timeline_json = Command::new(env!("CARGO_BIN_EXE_vcstat"))
+        .arg(&ts)
+        .args(["--timeline", "--json"])
+        .output()
+        .expect("vcstat runs");
+    assert!(timeline_json.status.success());
+    let doc = vc_testkit::json::Json::parse(&String::from_utf8_lossy(&timeline_json.stdout))
+        .expect("valid JSON output");
+    assert!(doc["timeline"]["ticks"].as_f64().unwrap_or(0.0) > 0.0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn vcstat_flags_truncated_ring_traces_loudly() {
+    let dir = std::env::temp_dir().join(format!("vc_ring_cli_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("ring.jsonl");
+    std::fs::write(
+        &path,
+        concat!(
+            "{\"at_us\":1,\"component\":\"net\",\"kind\":\"x\"}\n",
+            "{\"at_us\":2,\"component\":\"obs\",\"kind\":\"trace.end\",",
+            "\"fields\":{\"retained\":1,\"dropped\":5}}\n",
+        ),
+    )
+    .expect("write fixture");
+    let out = Command::new(env!("CARGO_BIN_EXE_vcstat")).arg(&path).output().expect("vcstat runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let report = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(report.contains("TRUNCATED TRACE"), "report: {report}");
+    assert!(report.contains("dropped 5 events"), "report: {report}");
+    // The trailer itself stays out of the component tables.
+    assert!(report.contains("1 events, 1 components"), "report: {report}");
+
+    // --json surfaces the same counts machine-readably.
+    let json = Command::new(env!("CARGO_BIN_EXE_vcstat"))
+        .arg(&path)
+        .arg("--json")
+        .output()
+        .expect("vcstat runs");
+    assert!(json.status.success());
+    let doc = vc_testkit::json::Json::parse(&String::from_utf8_lossy(&json.stdout))
+        .expect("valid JSON output");
+    assert_eq!(doc["summary"]["ring"]["dropped"].as_f64(), Some(5.0));
+    assert_eq!(doc["summary"]["ring"]["truncated"], vc_testkit::json::Json::Bool(true));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn list_flag_prints_every_experiment_with_a_description() {
     let out = Command::new(env!("CARGO_BIN_EXE_experiments"))
         .arg("--list")
@@ -114,7 +216,7 @@ fn list_flag_prints_every_experiment_with_a_description() {
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout).into_owned();
     let lines: Vec<&str> = text.lines().collect();
-    assert_eq!(lines.len(), 16);
+    assert_eq!(lines.len(), 17);
     for (i, line) in lines.iter().enumerate() {
         let id = format!("e{}", i + 1);
         assert!(line.starts_with(&id), "line {i} should start with {id}: {line}");

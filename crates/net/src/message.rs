@@ -1,5 +1,6 @@
 //! Packets and per-packet bookkeeping for the routing experiments.
 
+use vc_obs::TraceId;
 use vc_sim::node::VehicleId;
 use vc_sim::time::{SimDuration, SimTime};
 
@@ -22,6 +23,10 @@ pub struct Packet {
     pub created: SimTime,
     /// Remaining hop budget; the packet dies at zero.
     pub ttl_hops: u32,
+    /// Causal trace context: `Some` when the deterministic sampler selected
+    /// this packet, carried unchanged across every hop so the full relay
+    /// chain shares one id (see `vc_obs::causal`).
+    pub trace: Option<TraceId>,
 }
 
 impl Packet {
@@ -33,7 +38,7 @@ impl Packet {
         size_bytes: usize,
         created: SimTime,
     ) -> Self {
-        Packet { id, src, dst, size_bytes, created, ttl_hops: 64 }
+        Packet { id, src, dst, size_bytes, created, ttl_hops: 64, trace: None }
     }
 }
 
@@ -113,6 +118,7 @@ mod tests {
         let p = Packet::new(PacketId(1), VehicleId(0), VehicleId(5), 256, SimTime::ZERO);
         assert_eq!(p.ttl_hops, 64);
         assert_eq!(p.size_bytes, 256);
+        assert_eq!(p.trace, None, "packets start untraced; the sampler opts in");
     }
 
     #[test]

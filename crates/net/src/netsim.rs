@@ -16,12 +16,23 @@
 //! deduplicating same-round deliveries/forwards deterministically. The
 //! shard count (`VC_SHARDS`) therefore changes wall-clock only: results
 //! are bitwise identical for every value, including 1.
+//!
+//! ## Shard-local recorders and causal traces
+//!
+//! When a [`Recorder`] is attached, each worker buffers its copy's radio
+//! events in the [`CopyOutcome`]'s shard-local [`EventBuf`]; the
+//! coordinator absorbs the buffers in canonical copy order before replaying
+//! the copy's routing/causal events, so the merged stream byte-compares at
+//! every shard count. Packets selected by the deterministic
+//! [`Sampler`](vc_obs::Sampler) additionally carry a trace id and emit a
+//! `causal.origin` → `causal.hop`* → `causal.deliver`/`causal.drop` chain
+//! (see `vc_obs::causal`).
 
 use crate::message::{Packet, PacketId, RoutingStats};
 use crate::routing::RoutingProtocol;
 use crate::world::WorldView;
 use std::collections::HashSet;
-use vc_obs::{reborrow, Recorder};
+use vc_obs::{reborrow, EventBuf, Recorder, Sampler};
 use vc_sim::geom::SpatialGrid;
 use vc_sim::node::VehicleId;
 use vc_sim::radio::NeighborTable;
@@ -78,6 +89,9 @@ enum Fate {
 struct CopyOutcome {
     attempts: Vec<Attempt>,
     fate: Fate,
+    /// Shard-local radio events (empty unless a recorder is attached),
+    /// absorbed by the coordinator in canonical copy order.
+    events: EventBuf,
 }
 
 /// The network simulation: inject packets, run rounds, read statistics.
@@ -93,6 +107,9 @@ pub struct NetSim<'a, P: RoutingProtocol> {
     /// grid buckets are rebuilt in place each round instead of reallocated).
     table: NeighborTable,
     grid: SpatialGrid,
+    /// Decides which packets carry a causal trace. Keyed by the scenario
+    /// seed, so the traced set is reproducible and shard-count-invariant.
+    sampler: Sampler,
 }
 
 /// Evaluates one link attempt from `from` to `to` against the read-only
@@ -129,11 +146,14 @@ fn copy_outcome<P: RoutingProtocol>(
     world: &WorldView<'_>,
     protocol: &P,
     round_key: u64,
+    now: SimTime,
+    record: bool,
 ) -> CopyOutcome {
+    let mut events = EventBuf::new();
     // A copy dies when its packet was delivered (as of the round snapshot)
     // or its holder went offline (offline vehicles keep nothing running).
     if delivered_before || !world.is_online(copy.holder) {
-        return CopyOutcome { attempts: Vec::new(), fate: Fate::Dead };
+        return CopyOutcome { attempts: Vec::new(), fate: Fate::Dead, events };
     }
     let mut rng = SimRng::stream(round_key, index as u64);
     let dst = state.packet.dst;
@@ -141,16 +161,19 @@ fn copy_outcome<P: RoutingProtocol>(
     if world.is_online(dst) && world.neighbors.of(copy.holder).contains(&dst) {
         let attempt =
             attempt_link(scenario, world, copy.holder, dst, state.packet.size_bytes, &mut rng);
+        if record {
+            buf_attempt(&mut events, now, &attempt);
+        }
         let fate = match attempt.latency {
             Some(lat) => Fate::Delivered(lat),
             None => Fate::Held,
         };
-        return CopyOutcome { attempts: vec![attempt], fate };
+        return CopyOutcome { attempts: vec![attempt], fate, events };
     }
     // Out of hop budget: the copy may still deliver directly later, but may
     // not be relayed further.
     if copy.hops >= state.packet.ttl_hops {
-        return CopyOutcome { attempts: Vec::new(), fate: Fate::Held };
+        return CopyOutcome { attempts: Vec::new(), fate: Fate::Held, events };
     }
     // Ask the protocol for relays.
     let hops =
@@ -162,13 +185,16 @@ fn copy_outcome<P: RoutingProtocol>(
         let attempt =
             attempt_link(scenario, world, copy.holder, target, state.packet.size_bytes, &mut rng);
         forwarded |= attempt.latency.is_some();
+        if record {
+            buf_attempt(&mut events, now, &attempt);
+        }
         attempts.push(attempt);
     }
     // Store-carry-forward: the holder keeps its copy unless the protocol
     // handed it off (single-copy protocols move, epidemic replicates and
     // also keeps).
     let keeps = !forwarded || protocol.name() == "epidemic";
-    CopyOutcome { attempts, fate: Fate::Forwarded { keeps } }
+    CopyOutcome { attempts, fate: Fate::Forwarded { keeps }, events }
 }
 
 impl<'a, P: RoutingProtocol> NetSim<'a, P> {
@@ -178,6 +204,7 @@ impl<'a, P: RoutingProtocol> NetSim<'a, P> {
         // once from the current channel range is safe even if the range is
         // later mutated between rounds.
         let grid = SpatialGrid::new(scenario.channel.range_m.max(1.0));
+        let sampler = Sampler::from_env(scenario.seed);
         NetSim {
             scenario,
             protocol,
@@ -188,14 +215,31 @@ impl<'a, P: RoutingProtocol> NetSim<'a, P> {
             now: SimTime::ZERO,
             table: NeighborTable::new(),
             grid,
+            sampler,
         }
+    }
+
+    /// Replaces the causal-trace sampler (in-process rate sweeps — see E17 —
+    /// and tests; the default samples at the process-wide `VC_TRACE_SAMPLE`
+    /// rate keyed by the scenario seed). Affects only packets sent after
+    /// the call.
+    pub fn set_sampler(&mut self, sampler: Sampler) {
+        self.sampler = sampler;
+    }
+
+    /// The active causal-trace sampler.
+    pub fn sampler(&self) -> &Sampler {
+        &self.sampler
     }
 
     /// Injects a packet from `src` to `dst` with the given payload size.
     pub fn send(&mut self, src: VehicleId, dst: VehicleId, size_bytes: usize) -> PacketId {
         let id = PacketId(self.next_id);
         self.next_id += 1;
-        let packet = Packet::new(id, src, dst, size_bytes, self.now);
+        let mut packet = Packet::new(id, src, dst, size_bytes, self.now);
+        // Sampling is a pure hash of (scenario seed, packet id): no RNG
+        // state is consumed, so traced and untraced runs stay identical.
+        packet.trace = self.sampler.decide(id.0);
         let idx = self.packets.len();
         let mut carried = HashSet::new();
         carried.insert(src);
@@ -205,8 +249,47 @@ impl<'a, P: RoutingProtocol> NetSim<'a, P> {
         id
     }
 
+    /// [`NetSim::send`] with instrumentation: when the sampler selected the
+    /// packet, emits `causal.origin` opening its trace chain.
+    pub fn send_obs(
+        &mut self,
+        src: VehicleId,
+        dst: VehicleId,
+        size_bytes: usize,
+        mut rec: Option<&mut Recorder>,
+    ) -> PacketId {
+        let id = self.send(src, dst, size_bytes);
+        let trace = self.packets.last().and_then(|s| s.packet.trace);
+        if let (Some(trace), Some(rec)) = (trace, reborrow(&mut rec)) {
+            rec.event(
+                self.now,
+                "net",
+                "causal.origin",
+                vec![
+                    ("trace", trace.as_u64().into()),
+                    ("packet", id.0.into()),
+                    ("src", src.0.into()),
+                    ("dst", dst.0.into()),
+                ],
+            );
+        }
+        id
+    }
+
     /// Injects `n` packets between random distinct online vehicle pairs.
     pub fn send_random_pairs(&mut self, n: usize, size_bytes: usize) {
+        self.send_random_pairs_obs(n, size_bytes, None);
+    }
+
+    /// [`NetSim::send_random_pairs`] with instrumentation: emits
+    /// `causal.origin` for every sampled packet. RNG draws are identical to
+    /// the plain path.
+    pub fn send_random_pairs_obs(
+        &mut self,
+        n: usize,
+        size_bytes: usize,
+        mut rec: Option<&mut Recorder>,
+    ) {
         let online = self.scenario.fleet.online_ids();
         if online.len() < 2 {
             return;
@@ -217,7 +300,7 @@ impl<'a, P: RoutingProtocol> NetSim<'a, P> {
             while b == a {
                 b = online[self.scenario.rng.index(online.len())];
             }
-            self.send(a, b, size_bytes);
+            self.send_obs(a, b, size_bytes, reborrow(&mut rec));
         }
     }
 
@@ -230,11 +313,15 @@ impl<'a, P: RoutingProtocol> NetSim<'a, P> {
     }
 
     /// [`NetSim::run_rounds`] with instrumentation: each round emits `sim`
-    /// radio tx/rx/drop events for every transmission attempt plus `net`
+    /// radio tx/rx/drop events for every transmission attempt (buffered
+    /// shard-locally by the workers, merged in canonical order) plus `net`
     /// events `routing.forward` (relay accepted a copy) and
     /// `routing.deliver` (destination reached, with hop count and
-    /// end-to-end latency). The simulation — including the RNG streams — is
-    /// identical to the unprobed path.
+    /// end-to-end latency). Packets selected by the sampler additionally
+    /// emit `causal.hop` / `causal.deliver` / `causal.drop` chain events,
+    /// and each round ends with a [`Recorder::timeseries_tick`]. The
+    /// simulation — including the RNG streams — is identical to the
+    /// unprobed path.
     pub fn run_rounds_obs(&mut self, rounds: usize, mut rec: Option<&mut Recorder>) {
         for _ in 0..rounds {
             self.round(reborrow(&mut rec));
@@ -273,6 +360,8 @@ impl<'a, P: RoutingProtocol> NetSim<'a, P> {
         // sees the same start-of-round state.
         let delivered_snap: Vec<bool> = self.packets.iter().map(|s| s.delivered).collect();
         let copies = std::mem::take(&mut self.copies);
+        let record = rec.is_some();
+        let now = self.now;
         let outcomes: Vec<CopyOutcome> = {
             let _delivery = vc_obs::profile::frame("radio.delivery");
             let (packets, protocol) = (&self.packets, &self.protocol);
@@ -289,6 +378,8 @@ impl<'a, P: RoutingProtocol> NetSim<'a, P> {
                             &world,
                             protocol,
                             round_key,
+                            now,
+                            record,
                         )
                     })
                     .collect::<Vec<_>>()
@@ -298,27 +389,43 @@ impl<'a, P: RoutingProtocol> NetSim<'a, P> {
             .collect()
         };
 
-        // Sequential merge in canonical copy order: replay events and
+        // Sequential merge in canonical copy order: absorb each worker's
+        // shard-local event buffer, replay routing/causal events and
         // statistics, dedupe same-round deliveries (first in canonical
         // order wins) and duplicate forwards to an already-carried target.
         let _merge = vc_obs::profile::frame("shard.merge");
-        let now = self.now;
         let mut surviving: Vec<Copy> = Vec::with_capacity(copies.len());
         let mut new_copies: Vec<Copy> = Vec::new();
         for (copy, outcome) in copies.into_iter().zip(outcomes) {
+            if let Some(rec) = reborrow(&mut rec) {
+                rec.absorb(outcome.events);
+            }
+            let trace = self.packets[copy.packet_idx].packet.trace;
             match outcome.fate {
-                Fate::Dead => {}
-                Fate::Held => {
-                    for attempt in &outcome.attempts {
-                        self.stats.transmissions += 1;
-                        emit_attempt(&mut rec, now, attempt);
+                Fate::Dead => {
+                    // Delivered-elsewhere deaths are silent; a holder going
+                    // offline ends a traced chain with a visible drop.
+                    if !delivered_snap[copy.packet_idx] {
+                        if let (Some(trace), Some(rec)) = (trace, reborrow(&mut rec)) {
+                            rec.event(
+                                now,
+                                "net",
+                                "causal.drop",
+                                vec![
+                                    ("trace", trace.as_u64().into()),
+                                    ("hop", copy.hops.into()),
+                                    ("holder", copy.holder.0.into()),
+                                ],
+                            );
+                        }
                     }
+                }
+                Fate::Held => {
+                    self.stats.transmissions += outcome.attempts.len() as u64;
                     surviving.push(copy);
                 }
                 Fate::Delivered(lat) => {
-                    let attempt = &outcome.attempts[0];
                     self.stats.transmissions += 1;
-                    emit_attempt(&mut rec, now, attempt);
                     let state = &mut self.packets[copy.packet_idx];
                     if !state.delivered {
                         state.delivered = true;
@@ -328,14 +435,30 @@ impl<'a, P: RoutingProtocol> NetSim<'a, P> {
                         self.stats.delivered += 1;
                         self.stats.latencies_s.push(e2e);
                         self.stats.hops.push(copy.hops + 1);
+                        let dst = state.packet.dst;
+                        let pid = state.packet.id.0;
                         if let Some(rec) = reborrow(&mut rec) {
                             rec.event(
                                 now,
                                 "net",
                                 "routing.deliver",
                                 vec![
-                                    ("packet", state.packet.id.0.into()),
+                                    ("packet", pid.into()),
                                     ("hops", (copy.hops + 1).into()),
+                                    ("e2e_s", e2e.into()),
+                                ],
+                            );
+                        }
+                        if let (Some(trace), Some(rec)) = (trace, reborrow(&mut rec)) {
+                            rec.event(
+                                now,
+                                "net",
+                                "causal.deliver",
+                                vec![
+                                    ("trace", trace.as_u64().into()),
+                                    ("hops", (copy.hops + 1).into()),
+                                    ("relay", copy.holder.0.into()),
+                                    ("dst", dst.0.into()),
                                     ("e2e_s", e2e.into()),
                                 ],
                             );
@@ -347,7 +470,6 @@ impl<'a, P: RoutingProtocol> NetSim<'a, P> {
                 Fate::Forwarded { keeps } => {
                     for attempt in &outcome.attempts {
                         self.stats.transmissions += 1;
-                        emit_attempt(&mut rec, now, attempt);
                         if attempt.latency.is_none() {
                             continue;
                         }
@@ -356,6 +478,7 @@ impl<'a, P: RoutingProtocol> NetSim<'a, P> {
                         // reached this round: the transmission happened (and
                         // was counted above) but spawns no second copy.
                         if state.carried.insert(attempt.target) {
+                            let pid = state.packet.id.0;
                             new_copies.push(Copy {
                                 packet_idx: copy.packet_idx,
                                 holder: attempt.target,
@@ -369,9 +492,26 @@ impl<'a, P: RoutingProtocol> NetSim<'a, P> {
                                     "net",
                                     "routing.forward",
                                     vec![
-                                        ("packet", state.packet.id.0.into()),
+                                        ("packet", pid.into()),
                                         ("from", copy.holder.0.into()),
                                         ("to", attempt.target.0.into()),
+                                    ],
+                                );
+                            }
+                            if let (Some(trace), Some(rec)) = (trace, reborrow(&mut rec)) {
+                                rec.event(
+                                    now,
+                                    "net",
+                                    "causal.hop",
+                                    vec![
+                                        ("trace", trace.as_u64().into()),
+                                        ("hop", (copy.hops + 1).into()),
+                                        ("from", copy.holder.0.into()),
+                                        ("to", attempt.target.0.into()),
+                                        (
+                                            "latency_us",
+                                            attempt.latency.map_or(0, |l| l.as_micros()).into(),
+                                        ),
                                     ],
                                 );
                             }
@@ -385,6 +525,11 @@ impl<'a, P: RoutingProtocol> NetSim<'a, P> {
         }
         surviving.extend(new_copies);
         self.copies = surviving;
+        // One time-series sample per round (no-op unless the recorder's
+        // windowed mode is enabled).
+        if let Some(rec) = reborrow(&mut rec) {
+            rec.timeseries_tick(now);
+        }
     }
 
     /// Mutable access to the underlying scenario (for failure injection
@@ -409,14 +554,12 @@ impl<'a, P: RoutingProtocol> NetSim<'a, P> {
     }
 }
 
-/// Replays one worker-computed transmission attempt into the event stream:
-/// `radio.tx` for the attempt, then `radio.rx` (with latency) or
-/// `radio.drop` — byte-identical to the sequential probe path.
-fn emit_attempt(rec: &mut Option<&mut Recorder>, now: SimTime, attempt: &Attempt) {
-    let Some(rec) = reborrow(rec) else {
-        return;
-    };
-    rec.event(
+/// Buffers one transmission attempt's event pair into a worker's
+/// shard-local buffer: `radio.tx` for the attempt, then `radio.rx` (with
+/// latency) or `radio.drop` — byte-identical to the sequential probe path
+/// once the coordinator absorbs the buffers in canonical order.
+fn buf_attempt(buf: &mut EventBuf, now: SimTime, attempt: &Attempt) {
+    buf.event(
         now,
         "sim",
         "radio.tx",
@@ -424,9 +567,9 @@ fn emit_attempt(rec: &mut Option<&mut Recorder>, now: SimTime, attempt: &Attempt
     );
     match attempt.latency {
         Some(latency) => {
-            rec.event(now, "sim", "radio.rx", vec![("latency_us", latency.as_micros().into())]);
+            buf.event(now, "sim", "radio.rx", vec![("latency_us", latency.as_micros().into())]);
         }
-        None => rec.event(now, "sim", "radio.drop", vec![("dist_m", attempt.dist_m.into())]),
+        None => buf.event(now, "sim", "radio.drop", vec![("dist_m", attempt.dist_m.into())]),
     }
 }
 
@@ -592,4 +735,82 @@ mod tests {
     /// The determinism test above is only meaningful if the copy population
     /// outgrows the planner's collapse threshold.
     const MIN_COPIES_FOR_FANOUT: usize = vc_sim::shard::MIN_ITEMS_PER_SHARD;
+
+    use vc_obs::SampleRate;
+
+    #[test]
+    fn causal_tracing_does_not_perturb_the_run() {
+        let run = |rate: SampleRate, rec: Option<&mut Recorder>| {
+            let mut scenario = dense_urban(9, 40);
+            let mut sim = NetSim::new(&mut scenario, Epidemic);
+            sim.set_sampler(Sampler::new(9, rate));
+            let mut rec = rec;
+            sim.send_random_pairs_obs(10, 128, reborrow(&mut rec));
+            sim.run_rounds_obs(40, rec);
+            let s = sim.into_stats();
+            let lat_bits: Vec<u64> = s.latencies_s.iter().map(|l| l.to_bits()).collect();
+            (s.sent, s.delivered, s.transmissions, s.hops, lat_bits)
+        };
+        let plain = run(SampleRate::OFF, None);
+        let mut rec = Recorder::new();
+        let traced = run(SampleRate::ALL, Some(&mut rec));
+        assert_eq!(plain, traced, "causal tracing must not perturb the run");
+        assert!(rec.hub().counter("net.causal.origin") > 0);
+    }
+
+    #[test]
+    fn causal_chains_cover_every_sampled_packet() {
+        let mut scenario = dense_urban(12, 60);
+        let mut sim = NetSim::new(&mut scenario, Epidemic);
+        sim.set_sampler(Sampler::new(12, SampleRate::ALL));
+        let mut rec = Recorder::new();
+        sim.send_random_pairs_obs(20, 128, Some(&mut rec));
+        sim.run_rounds_obs(80, Some(&mut rec));
+        let stats = sim.into_stats();
+        // At rate 1 every packet opens a chain and every delivery closes one.
+        assert_eq!(rec.hub().counter("net.causal.origin"), stats.sent);
+        assert_eq!(rec.hub().counter("net.causal.deliver"), stats.delivered);
+        // Every causal event's trace id refers back to an emitted origin.
+        let origins: HashSet<u64> = rec
+            .events()
+            .filter(|e| e.kind == "causal.origin")
+            .filter_map(|e| e.fields.iter().find(|(k, _)| *k == "trace"))
+            .filter_map(|(_, v)| match v {
+                vc_obs::Value::U64(t) => Some(*t),
+                _ => None,
+            })
+            .collect();
+        for event in rec.events().filter(|e| e.kind.starts_with("causal.")) {
+            let Some((_, vc_obs::Value::U64(trace))) =
+                event.fields.iter().find(|(k, _)| *k == "trace")
+            else {
+                panic!("{} missing trace field", event.kind);
+            };
+            assert!(origins.contains(trace), "{} orphaned trace {trace}", event.kind);
+        }
+    }
+
+    #[test]
+    fn traced_event_stream_is_shard_count_invariant() {
+        let run = |shards: usize| {
+            let mut scenario = dense_urban(11, 150);
+            scenario.shards = shards;
+            let mut sim = NetSim::new(&mut scenario, Epidemic);
+            sim.set_sampler(Sampler::new(11, SampleRate::one_in(3)));
+            let mut rec = Recorder::new();
+            sim.send_random_pairs_obs(30, 128, Some(&mut rec));
+            sim.run_rounds_obs(30, Some(&mut rec));
+            let mut out = Vec::new();
+            rec.write_jsonl(&mut out).unwrap();
+            (out, sim.live_copies())
+        };
+        let (sequential, _) = run(1);
+        assert!(
+            String::from_utf8_lossy(&sequential).contains("causal.origin"),
+            "sampling 1/3 must trace something here"
+        );
+        for shards in [2usize, 4, 8] {
+            assert_eq!(run(shards).0, sequential, "trace bytes diverged at {shards} shards");
+        }
+    }
 }

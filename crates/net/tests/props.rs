@@ -5,6 +5,7 @@ use vc_net::message::{Packet, PacketId};
 use vc_net::netsim::NetSim;
 use vc_net::routing::{ClusterRouting, Epidemic, GreedyGeo, MozoRouting, RoutingProtocol};
 use vc_net::world::WorldView;
+use vc_obs::{SampleRate, Sampler};
 use vc_sim::geom::Point;
 use vc_sim::node::VehicleId;
 use vc_sim::radio::NeighborTable;
@@ -62,6 +63,21 @@ fn sharded_run_fingerprint<P: RoutingProtocol>(
     shard_count: usize,
     protocol: P,
 ) -> RunFingerprint {
+    traced_run_fingerprint(seed, vehicles, packets, rounds, shard_count, protocol, SampleRate::OFF)
+}
+
+/// [`sharded_run_fingerprint`] with causal tracing at an explicit sample
+/// rate (the sampler is seeded from the run seed, like the default).
+#[allow(clippy::too_many_arguments)]
+fn traced_run_fingerprint<P: RoutingProtocol>(
+    seed: u64,
+    vehicles: usize,
+    packets: usize,
+    rounds: usize,
+    shard_count: usize,
+    protocol: P,
+    rate: SampleRate,
+) -> RunFingerprint {
     let mut b = vc_sim::scenario::ScenarioBuilder::new();
     b.seed(seed).vehicles(vehicles);
     let mut scenario = b.urban_with_rsus();
@@ -69,7 +85,8 @@ fn sharded_run_fingerprint<P: RoutingProtocol>(
     let mut rec = vc_obs::Recorder::new();
     let (stats, events) = {
         let mut sim = NetSim::new(&mut scenario, protocol);
-        sim.send_random_pairs(packets, 128);
+        sim.set_sampler(Sampler::new(seed, rate));
+        sim.send_random_pairs_obs(packets, 128, Some(&mut rec));
         sim.run_rounds_obs(rounds, Some(&mut rec));
         let stats = sim.into_stats();
         let mut events = Vec::new();
@@ -305,6 +322,32 @@ prop! {
                 ),
             ),
         };
+        prop_assert_eq!(sequential, sharded);
+    }
+
+    // Causal tracing composes with sharding: at any sample rate (off, all,
+    // or one-in-N) the traced event stream — causal.origin/hop/deliver/drop
+    // included — byte-compares between the sequential and sharded runs,
+    // because the sampling decision is a pure function of (seed, packet id)
+    // and worker event buffers merge in canonical order.
+    #[test]
+    fn traced_sharded_run_is_bitwise_equal_at_any_sample_rate(
+        seed in any_u64(),
+        shards in 2usize..9,
+        rate_pick in 0u8..4,
+        vehicles in 30usize..70,
+        packets in 5usize..20,
+        rounds in 5usize..20,
+    ) {
+        let rate = match rate_pick {
+            0 => SampleRate::OFF,
+            1 => SampleRate::ALL,
+            2 => SampleRate::one_in(2),
+            _ => SampleRate::one_in(7),
+        };
+        let sequential = traced_run_fingerprint(seed, vehicles, packets, rounds, 1, Epidemic, rate);
+        let sharded =
+            traced_run_fingerprint(seed, vehicles, packets, rounds, shards, Epidemic, rate);
         prop_assert_eq!(sequential, sharded);
     }
 }

@@ -18,6 +18,14 @@
 //!   aggregated into a call tree with `profile.json` and collapsed-stack
 //!   (flamegraph) exports. Traces stay sim-time-only and byte-reproducible;
 //!   the profiler is where real nanoseconds are accounted.
+//! * [`causal`] — per-message causal tracing: a deterministic, seeded
+//!   [`Sampler`] selects messages (`VC_TRACE_SAMPLE`), each selected
+//!   message carries a [`TraceId`] across hops, and the resulting
+//!   `causal.*` event chain reconstructs the full admission → relay →
+//!   delivery path (`vcstat --causal`).
+//! * [`TimeSeries`] — the windowed per-tick mode of [`MetricsHub`]:
+//!   snapshot diffs pushed into a fixed-capacity ring, exported as JSONL
+//!   (`experiments --timeseries`, `vcstat --timeline`).
 //!
 //! Instrumentation hooks throughout the workspace take
 //! `Option<&mut Recorder>`: passing `None` reduces every hook to a branch,
@@ -41,12 +49,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod causal;
 pub mod metrics;
 pub mod profile;
 pub mod record;
 
-pub use metrics::{Histogram, MetricsHub, Snapshot, SnapshotDiff};
-pub use record::{Event, Recorder, SpanId, SpanPhase};
+pub use causal::{SampleRate, Sampler, TraceId};
+pub use metrics::{Histogram, MetricsHub, Snapshot, SnapshotDiff, TickSample, TimeSeries};
+pub use record::{Event, EventBuf, Recorder, SpanId, SpanPhase};
 pub use vc_sim::probe::{Probe, Value};
 
 /// Reborrows an optional recorder so it can be passed down a call chain

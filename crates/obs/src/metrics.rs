@@ -7,7 +7,8 @@
 //! matter how many samples it absorbs, at the price of approximate
 //! percentiles (exact to the power-of-two bucket that contains them).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{self, Write};
 
 use vc_testkit::json::Json;
 
@@ -220,11 +221,18 @@ impl MetricsHub {
 }
 
 /// A frozen copy of a [`MetricsHub`], taken with [`MetricsHub::snapshot`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Snapshot {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, Histogram>,
+}
+
+impl Snapshot {
+    /// The snapshot of an empty hub (everything diffs against zero).
+    pub fn empty() -> Snapshot {
+        Snapshot::default()
+    }
 }
 
 impl Snapshot {
@@ -300,6 +308,131 @@ pub struct SnapshotDiff {
     /// New histogram samples over the interval (zero-delta entries
     /// omitted).
     pub histogram_counts: BTreeMap<String, u64>,
+}
+
+/// One windowed time-series sample: what changed in the hub over one tick.
+#[derive(Debug, Clone)]
+pub struct TickSample {
+    /// Zero-based tick index over the whole run (keeps counting even after
+    /// the window has wrapped, so the export names the retained range).
+    pub seq: u64,
+    /// Sim-time of the tick, microseconds.
+    pub at_us: u64,
+    /// Hub deltas since the previous tick.
+    pub diff: SnapshotDiff,
+}
+
+impl TickSample {
+    /// Renders the sample as one compact, insertion-ordered JSON object.
+    pub fn to_json(&self) -> Json {
+        let counters = self.diff.counters.iter().map(|(k, &v)| (k.clone(), Json::from(v)));
+        let gauges = self.diff.gauges.iter().map(|(k, &v)| (k.clone(), Json::from(v)));
+        let hists = self.diff.histogram_counts.iter().map(|(k, &v)| (k.clone(), Json::from(v)));
+        Json::object([
+            ("tick", Json::from(self.seq)),
+            ("at_us", Json::from(self.at_us)),
+            ("counters", Json::Obj(counters.collect())),
+            ("gauges", Json::Obj(gauges.collect())),
+            ("histogram_counts", Json::Obj(hists.collect())),
+        ])
+    }
+}
+
+/// A fixed-capacity ring of per-tick [`MetricsHub`] deltas: the windowed
+/// time-series mode.
+///
+/// Each [`TimeSeries::tick`] snapshots the hub, diffs it against the
+/// previous tick's snapshot, and pushes the delta; once the window is full
+/// the oldest sample is dropped (and counted, mirroring
+/// [`Recorder::ring`](crate::Recorder::ring)). Memory is bounded by the
+/// capacity regardless of run length, so million-tick runs can stream
+/// per-tick telemetry without keeping it all.
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    cap: usize,
+    samples: VecDeque<TickSample>,
+    last: Snapshot,
+    seq: u64,
+    dropped: u64,
+}
+
+impl TimeSeries {
+    /// A window keeping the most recent `capacity` ticks (min 1).
+    pub fn new(capacity: usize) -> TimeSeries {
+        TimeSeries {
+            cap: capacity.max(1),
+            samples: VecDeque::with_capacity(capacity.clamp(1, 4096)),
+            last: Snapshot::empty(),
+            seq: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Closes the current tick: records the hub's delta since the previous
+    /// tick at sim-time `at_us`.
+    pub fn tick(&mut self, at_us: u64, hub: &MetricsHub) {
+        let now = hub.snapshot();
+        let diff = now.diff(&self.last);
+        if self.samples.len() >= self.cap {
+            self.samples.pop_front();
+            self.dropped += 1;
+        }
+        self.samples.push_back(TickSample { seq: self.seq, at_us, diff });
+        self.seq += 1;
+        self.last = now;
+    }
+
+    /// The retained samples, oldest first.
+    pub fn samples(&self) -> impl Iterator<Item = &TickSample> {
+        self.samples.iter()
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when no tick has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Total ticks recorded over the series' lifetime.
+    pub fn ticks(&self) -> u64 {
+        self.seq
+    }
+
+    /// Samples discarded because the window wrapped.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The window capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Writes the series as JSON Lines: a meta header (`ticks`, `dropped`,
+    /// `capacity` — so consumers can tell a truncated window from a full
+    /// one), then one [`TickSample`] object per line, oldest first.
+    pub fn write_jsonl<W: Write>(&self, out: &mut W) -> io::Result<()> {
+        let meta = Json::object([(
+            "timeseries",
+            Json::object([
+                ("version", Json::from(1u64)),
+                ("capacity", Json::from(self.cap as u64)),
+                ("ticks", Json::from(self.seq)),
+                ("dropped", Json::from(self.dropped)),
+            ]),
+        )]);
+        out.write_all(meta.to_string_compact().as_bytes())?;
+        out.write_all(b"\n")?;
+        for sample in &self.samples {
+            out.write_all(sample.to_json().to_string_compact().as_bytes())?;
+            out.write_all(b"\n")?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -385,6 +518,52 @@ mod tests {
         // Unchanged counters are omitted from the diff.
         let same = after.diff(&after);
         assert!(same.counters.is_empty());
+    }
+
+    #[test]
+    fn timeseries_diffs_per_tick_and_wraps() {
+        let mut hub = MetricsHub::new();
+        let mut ts = TimeSeries::new(2);
+        hub.counter_add("net.routing.deliver", 3);
+        hub.gauge_set("net.copies.live", 5.0);
+        ts.tick(1_000, &hub);
+        hub.counter_add("net.routing.deliver", 4);
+        hub.observe("net.e2e.s", 0.25);
+        ts.tick(2_000, &hub);
+        // Tick deltas, not cumulative totals.
+        let samples: Vec<&TickSample> = ts.samples().collect();
+        assert_eq!(samples[0].diff.counters.get("net.routing.deliver"), Some(&3));
+        assert_eq!(samples[1].diff.counters.get("net.routing.deliver"), Some(&4));
+        assert_eq!(samples[1].diff.histogram_counts.get("net.e2e.s"), Some(&1));
+        // A quiet tick still lands (empty diff) and the window wraps.
+        ts.tick(3_000, &hub);
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.ticks(), 3);
+        assert_eq!(ts.dropped(), 1);
+        assert_eq!(ts.samples().next().unwrap().seq, 1);
+        let last = ts.samples().last().unwrap();
+        assert!(last.diff.counters.is_empty());
+        // Gauges report their current value every tick.
+        assert_eq!(last.diff.gauges.get("net.copies.live"), Some(&5.0));
+    }
+
+    #[test]
+    fn timeseries_jsonl_schema_is_stable() {
+        let mut hub = MetricsHub::new();
+        let mut ts = TimeSeries::new(8);
+        hub.counter_add("sim.radio.tx", 2);
+        ts.tick(500_000, &hub);
+        let mut out = Vec::new();
+        ts.write_jsonl(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                r#"{"timeseries":{"version":1,"capacity":8,"ticks":1,"dropped":0}}"#,
+                r#"{"tick":0,"at_us":500000,"counters":{"sim.radio.tx":2},"gauges":{},"histogram_counts":{}}"#,
+            ]
+        );
     }
 
     #[test]

@@ -12,7 +12,7 @@ use vc_sim::probe::{Probe, Value};
 use vc_sim::time::{SimDuration, SimTime};
 use vc_testkit::json::Json;
 
-use crate::metrics::MetricsHub;
+use crate::metrics::{MetricsHub, TimeSeries};
 
 /// Identifies one span within a [`Recorder`]; returned by
 /// [`Recorder::span_begin`] and consumed by [`Recorder::span_end`].
@@ -112,6 +112,7 @@ pub struct Recorder {
     open: Vec<OpenSpan>,
     next_span: u64,
     hub: MetricsHub,
+    timeseries: Option<TimeSeries>,
 }
 
 impl Recorder {
@@ -124,6 +125,7 @@ impl Recorder {
             open: Vec::new(),
             next_span: 0,
             hub: MetricsHub::new(),
+            timeseries: None,
         }
     }
 
@@ -239,15 +241,110 @@ impl Recorder {
         &mut self.hub
     }
 
+    /// Enables the windowed time-series mode: every
+    /// [`Recorder::timeseries_tick`] records the hub's delta since the
+    /// previous tick into a ring keeping the most recent `capacity` ticks.
+    pub fn enable_timeseries(&mut self, capacity: usize) {
+        self.timeseries = Some(TimeSeries::new(capacity));
+    }
+
+    /// The time series, when [`Recorder::enable_timeseries`] was called.
+    pub fn timeseries(&self) -> Option<&TimeSeries> {
+        self.timeseries.as_ref()
+    }
+
+    /// Closes one time-series tick at sim-time `at`. A no-op unless the
+    /// time-series mode is enabled, so instrumented loops can call it
+    /// unconditionally.
+    pub fn timeseries_tick(&mut self, at: SimTime) {
+        if let Some(ts) = self.timeseries.as_mut() {
+            ts.tick(at.as_micros(), &self.hub);
+        }
+    }
+
+    /// Merges a shard-local [`EventBuf`] into the log, preserving the
+    /// buffer's order. Call in canonical shard order on the coordinator —
+    /// the merged stream is then identical at every shard count (the
+    /// PR 6 contract; see docs/PARALLELISM.md).
+    pub fn absorb(&mut self, buf: EventBuf) {
+        for event in buf.events {
+            self.push(event);
+        }
+    }
+
     /// Writes the retained events as JSON Lines: one compact object per
     /// line, insertion-ordered keys, trailing newline per line. Output is
     /// deterministic for a deterministic run.
+    ///
+    /// Ring-mode recorders append a `obs`/`trace.end` trailer carrying the
+    /// retained and dropped counts, so a consumer can tell a truncated
+    /// window from a complete log instead of silently reporting partial
+    /// counts. Unbounded recorders (which never drop) emit no trailer and
+    /// their output is byte-identical to earlier releases.
     pub fn write_jsonl<W: Write>(&self, out: &mut W) -> io::Result<()> {
         for event in &self.events {
             out.write_all(event.to_json().to_string_compact().as_bytes())?;
             out.write_all(b"\n")?;
         }
+        if self.cap.is_some() {
+            let at = self.events.back().map_or(SimTime::ZERO, |e| e.at);
+            let trailer = Event {
+                at,
+                component: "obs",
+                kind: "trace.end",
+                span: None,
+                elapsed: None,
+                fields: vec![
+                    ("retained", Value::U64(self.events.len() as u64)),
+                    ("dropped", Value::U64(self.dropped)),
+                ],
+            };
+            out.write_all(trailer.to_json().to_string_compact().as_bytes())?;
+            out.write_all(b"\n")?;
+        }
         Ok(())
+    }
+}
+
+/// A shard-local event buffer.
+///
+/// Worker threads cannot share the coordinator's [`Recorder`], so each
+/// shard (or each work item) fills one of these — same `event` signature,
+/// no locking — and the coordinator [`Recorder::absorb`]s the buffers in
+/// canonical index order during the merge. Building the field vectors is
+/// the expensive part of emission, so this moves that cost into the
+/// parallel phase while keeping the merged stream byte-identical at every
+/// shard count.
+#[derive(Debug, Default)]
+pub struct EventBuf {
+    events: Vec<Event>,
+}
+
+impl EventBuf {
+    /// An empty buffer (no allocation until the first event).
+    pub fn new() -> EventBuf {
+        EventBuf::default()
+    }
+
+    /// Buffers a plain event (counterpart of [`Recorder::event`]).
+    pub fn event(
+        &mut self,
+        at: SimTime,
+        component: &'static str,
+        kind: &'static str,
+        fields: Vec<(&'static str, Value)>,
+    ) {
+        self.events.push(Event { at, component, kind, span: None, elapsed: None, fields });
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when nothing has been buffered.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
     }
 }
 
@@ -349,6 +446,89 @@ mod tests {
             lines[2],
             r#"{"at_us":3000,"component":"cloud","kind":"place","span":0,"phase":"end","elapsed_us":3000}"#
         );
+    }
+
+    #[test]
+    fn absorbed_shard_buffers_match_direct_emission() {
+        // Emitting through per-shard buffers merged in canonical order must
+        // produce the same log (bytes, counters) as direct emission.
+        let mut direct = Recorder::new();
+        direct.event(t(1), "sim", "radio.tx", vec![("bytes", 64u64.into())]);
+        direct.event(t(1), "sim", "radio.rx", vec![("latency_us", 250u64.into())]);
+        direct.event(t(2), "net", "routing.forward", Vec::new());
+
+        let mut sharded = Recorder::new();
+        let mut shard_a = EventBuf::new();
+        shard_a.event(t(1), "sim", "radio.tx", vec![("bytes", 64u64.into())]);
+        shard_a.event(t(1), "sim", "radio.rx", vec![("latency_us", 250u64.into())]);
+        let mut shard_b = EventBuf::new();
+        shard_b.event(t(2), "net", "routing.forward", Vec::new());
+        assert_eq!(shard_a.len(), 2);
+        assert!(!shard_a.is_empty());
+        sharded.absorb(shard_a);
+        sharded.absorb(shard_b);
+
+        let jsonl = |rec: &Recorder| {
+            let mut out = Vec::new();
+            rec.write_jsonl(&mut out).unwrap();
+            out
+        };
+        assert_eq!(jsonl(&direct), jsonl(&sharded));
+        assert_eq!(sharded.hub().counter("sim.radio.tx"), 1);
+        assert_eq!(sharded.hub().counter("net.routing.forward"), 1);
+    }
+
+    #[test]
+    fn absorb_respects_ring_capacity() {
+        let mut rec = Recorder::ring(2);
+        let mut buf = EventBuf::new();
+        for i in 0..5u64 {
+            buf.event(t(i), "sim", "tick", vec![("i", i.into())]);
+        }
+        rec.absorb(buf);
+        assert_eq!(rec.len(), 2);
+        assert_eq!(rec.dropped(), 3);
+        assert_eq!(rec.hub().counter("sim.tick"), 5);
+    }
+
+    #[test]
+    fn ring_jsonl_carries_a_drop_trailer_and_unbounded_does_not() {
+        let mut ring = Recorder::ring(2);
+        for i in 0..3u64 {
+            ring.event(t(i), "sim", "tick", vec![("i", i.into())]);
+        }
+        let mut out = Vec::new();
+        ring.write_jsonl(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let last = text.lines().last().unwrap();
+        assert_eq!(
+            last,
+            r#"{"at_us":2000,"component":"obs","kind":"trace.end","fields":{"retained":2,"dropped":1}}"#
+        );
+        // Unbounded recorders keep the pre-trailer byte format.
+        let mut plain = Recorder::new();
+        plain.event(t(0), "sim", "tick", Vec::new());
+        let mut out = Vec::new();
+        plain.write_jsonl(&mut out).unwrap();
+        assert!(!String::from_utf8(out).unwrap().contains("trace.end"));
+    }
+
+    #[test]
+    fn timeseries_tick_is_noop_until_enabled() {
+        let mut rec = Recorder::new();
+        rec.timeseries_tick(t(1));
+        assert!(rec.timeseries().is_none());
+        rec.enable_timeseries(16);
+        rec.event(t(2), "sim", "tick", Vec::new());
+        rec.timeseries_tick(t(2));
+        rec.event(t(3), "net", "routing.deliver", Vec::new());
+        rec.timeseries_tick(t(3));
+        let ts = rec.timeseries().unwrap();
+        assert_eq!(ts.len(), 2);
+        let samples: Vec<_> = ts.samples().collect();
+        assert_eq!(samples[0].diff.counters.get("sim.tick"), Some(&1));
+        assert_eq!(samples[1].diff.counters.get("net.routing.deliver"), Some(&1));
+        assert!(!samples[1].diff.counters.contains_key("sim.tick"));
     }
 
     #[test]

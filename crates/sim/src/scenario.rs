@@ -68,6 +68,11 @@ pub struct Scenario {
     pub cellular: Cellular,
     /// Optional urban-canyon obstruction model (None = open field).
     pub canyon: Option<CanyonModel>,
+    /// The seed this scenario was built from. Kept alongside the (already
+    /// advanced) RNG so derived deterministic machinery — e.g. the causal
+    /// trace sampler — can key itself off the run's identity without
+    /// consuming RNG state.
+    pub seed: u64,
     /// Scenario RNG (already forked from the seed).
     pub rng: SimRng,
     /// Step size used by [`Scenario::tick`], seconds.
@@ -138,6 +143,7 @@ impl ScenarioBuilder {
             rsus,
             cellular: Cellular::healthy(),
             canyon: None,
+            seed: self.seed,
             rng,
             dt: self.dt,
             shards: crate::shard::shard_count(),
@@ -158,6 +164,7 @@ impl ScenarioBuilder {
             rsus,
             cellular: Cellular::healthy(),
             canyon: None,
+            seed: self.seed,
             rng,
             dt: self.dt,
             shards: crate::shard::shard_count(),
@@ -189,6 +196,7 @@ impl ScenarioBuilder {
             rsus: RsuNetwork::new(),
             cellular: Cellular::unavailable(),
             canyon: None,
+            seed: self.seed,
             rng,
             dt: self.dt,
             shards: crate::shard::shard_count(),
