@@ -22,6 +22,12 @@ impl RealIdentity {
     }
 }
 
+impl vc_obs::MemSize for RealIdentity {
+    fn mem_bytes(&self) -> u64 {
+        self.0.capacity() as u64
+    }
+}
+
 /// Errors across the authentication protocols.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AuthError {

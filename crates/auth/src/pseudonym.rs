@@ -329,6 +329,41 @@ pub fn verify(
     Ok(())
 }
 
+impl vc_obs::MemSize for PseudonymId {
+    fn mem_bytes(&self) -> u64 {
+        0
+    }
+}
+
+impl vc_obs::MemSize for LinkageSeed {
+    fn mem_bytes(&self) -> u64 {
+        0
+    }
+}
+
+impl vc_obs::MemSize for PseudonymCert {
+    // Ids, keys, linkage values, and signatures are all inline.
+    fn mem_bytes(&self) -> u64 {
+        0
+    }
+}
+
+impl vc_obs::MemSize for PseudonymWallet {
+    fn mem_bytes(&self) -> u64 {
+        (self.certs.capacity() * std::mem::size_of::<PseudonymCert>()) as u64
+            + (self.keys.capacity() * std::mem::size_of::<SigningKey>()) as u64
+            + self.real_identity.mem_bytes()
+    }
+}
+
+impl vc_obs::MemSize for PseudonymRegistry {
+    fn mem_bytes(&self) -> u64 {
+        self.escrow.mem_bytes()
+            + self.seeds.mem_bytes()
+            + (self.crl.capacity() * std::mem::size_of::<LinkageSeed>()) as u64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -362,6 +397,27 @@ mod tests {
 
     fn window() -> SimDuration {
         SimDuration::from_secs(5)
+    }
+
+    #[test]
+    fn wallet_and_registry_footprints_track_pool_and_crl() {
+        use vc_obs::MemSize;
+        let (_ta, reg, wallet) = setup();
+        let wallet_bytes = wallet.mem_bytes();
+        let reg_bytes = reg.mem_bytes();
+        assert!(wallet_bytes > 0 && reg_bytes > 0);
+        // A bigger pool and a revocation both grow the measured footprint.
+        let mut ta = TrustedAuthority::new(b"ta2");
+        let mut big_reg = PseudonymRegistry::new();
+        let id = RealIdentity::for_vehicle(VehicleId(2));
+        ta.register(id.clone(), VehicleId(2));
+        let big = big_reg
+            .issue_wallet(&ta, &id, 50, SimTime::ZERO, SimTime::from_secs(3600), b"v2-seed")
+            .unwrap();
+        assert!(big.mem_bytes() > wallet_bytes);
+        let before = big_reg.mem_bytes();
+        big_reg.revoke_identity(&id);
+        assert!(big_reg.mem_bytes() > before, "CRL entry must register");
     }
 
     #[test]

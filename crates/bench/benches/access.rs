@@ -21,7 +21,12 @@ fn deep_expr(depth: usize) -> Expr {
     e
 }
 
+// Count every heap allocation so Suite results carry allocs/iter and
+// alloc bytes/iter columns (diffed by benchdiff when both sides have them).
+vc_obs::counting_allocator!();
+
 fn main() {
+    vc_obs::mem::register_bench_probe();
     let mut suite = Suite::new("access");
 
     // ---- policy evaluation ----

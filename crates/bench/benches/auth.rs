@@ -14,7 +14,12 @@ fn window() -> SimDuration {
     SimDuration::from_secs(5)
 }
 
+// Count every heap allocation so Suite results carry allocs/iter and
+// alloc bytes/iter columns (diffed by benchdiff when both sides have them).
+vc_obs::counting_allocator!();
+
 fn main() {
+    vc_obs::mem::register_bench_probe();
     let mut suite = Suite::new("auth");
 
     // ---- pseudonyms ----

@@ -16,7 +16,12 @@ use vc_sim::node::VehicleId;
 use vc_sim::time::{SimDuration, SimTime};
 use vc_testkit::bench::{black_box, Suite};
 
+// Count every heap allocation so Suite results carry allocs/iter and
+// alloc bytes/iter columns (diffed by benchdiff when both sides have them).
+vc_obs::counting_allocator!();
+
 fn main() {
+    vc_obs::mem::register_bench_probe();
     let mut suite = Suite::new("extensions");
 
     // ---- batch signature verification ----

@@ -29,7 +29,12 @@ fn positions(n: usize, extent: f64, seed: u64) -> Vec<Point> {
     probes(n, 0.0, extent, seed)
 }
 
+// Count every heap allocation so Suite results carry allocs/iter and
+// alloc bytes/iter columns (diffed by benchdiff when both sides have them).
+vc_obs::counting_allocator!();
+
 fn main() {
+    vc_obs::mem::register_bench_probe();
     let mut suite = Suite::new("geom");
 
     // ---- nearest-road / nearest-node: index vs linear scan ----

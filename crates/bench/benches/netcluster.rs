@@ -41,7 +41,12 @@ fn routing_rounds<P: RoutingProtocol>(proto: P) -> u64 {
     sim.stats().delivered
 }
 
+// Count every heap allocation so Suite results carry allocs/iter and
+// alloc bytes/iter columns (diffed by benchdiff when both sides have them).
+vc_obs::counting_allocator!();
+
 fn main() {
+    vc_obs::mem::register_bench_probe();
     let mut suite = Suite::new("netcluster");
 
     // ---- neighbor table construction ----

@@ -11,7 +11,12 @@ use vc_sim::scenario::ScenarioBuilder;
 use vc_sim::time::SimTime;
 use vc_testkit::bench::{black_box, Suite};
 
+// Count every heap allocation so Suite results carry allocs/iter and
+// alloc bytes/iter columns (diffed by benchdiff when both sides have them).
+vc_obs::counting_allocator!();
+
 fn main() {
+    vc_obs::mem::register_bench_probe();
     let mut suite = Suite::new("obs");
 
     // ---- sampling decision: a pure hash per packet id ----

@@ -20,6 +20,12 @@
 //! smoke entries (`--quick` / `VC_BENCH_QUICK=1`) are displayed but never
 //! gated — a single sample is noise, and failing CI on it would teach
 //! everyone to ignore the gate.
+//!
+//! When both sides of a benchmark carry the optional `allocs_per_iter` /
+//! `alloc_bytes_per_iter` columns (suites run by a binary with a counting
+//! allocator — see `vc_obs::mem`), an informational `alloc/iter` delta line
+//! is printed under the timing row. Allocation deltas are never gated, and
+//! suites without alloc data align and gate exactly as before.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -31,6 +37,11 @@ use vc_testkit::json::Json;
 struct Entry {
     median_ns: f64,
     batches: u64,
+    /// Mean allocations per iteration — present only when the suite was run
+    /// by a binary with a counting allocator + registered bench probe.
+    allocs_per_iter: Option<f64>,
+    /// Mean heap bytes allocated per iteration (same condition).
+    alloc_bytes_per_iter: Option<f64>,
 }
 
 impl Entry {
@@ -94,11 +105,31 @@ fn load_side(paths: &[String]) -> Side {
                     fail(format!("{path}: suite {suite}: result lacks name/median_ns"));
                 };
                 let batches = r["batches"].as_f64().unwrap_or(1.0) as u64;
-                by_name.insert(name.to_owned(), Entry { median_ns, batches });
+                by_name.insert(
+                    name.to_owned(),
+                    Entry {
+                        median_ns,
+                        batches,
+                        allocs_per_iter: r["allocs_per_iter"].as_f64(),
+                        alloc_bytes_per_iter: r["alloc_bytes_per_iter"].as_f64(),
+                    },
+                );
             }
         }
     }
     side
+}
+
+/// `"3.0 allocs, 96 B"`-style rendering for the per-iteration alloc columns.
+fn fmt_allocs(allocs: f64, bytes: f64) -> String {
+    let b = if bytes < 10_240.0 {
+        format!("{bytes:.0} B")
+    } else if bytes < 10.0 * 1024.0 * 1024.0 {
+        format!("{:.1} KiB", bytes / 1024.0)
+    } else {
+        format!("{:.1} MiB", bytes / (1024.0 * 1024.0))
+    };
+    format!("{allocs:.1} allocs, {b}")
 }
 
 fn fmt_ns(ns: f64) -> String {
@@ -171,6 +202,23 @@ fn run_diff(paths: &[String], gate: Option<f64>) -> ExitCode {
                                 regressions.push((format!("{suite}/{name}"), delta_pct));
                             }
                         }
+                    }
+                    // Allocation deltas are informational only — printed when
+                    // both sides were measured with a counting allocator,
+                    // never gated. Suites without alloc columns produce
+                    // exactly the output they did before those existed.
+                    if let (Some(ba), Some(bb), Some(ca), Some(cb)) = (
+                        b.allocs_per_iter,
+                        b.alloc_bytes_per_iter,
+                        c.allocs_per_iter,
+                        c.alloc_bytes_per_iter,
+                    ) {
+                        let bytes_delta = if bb > 0.0 { (cb - bb) / bb * 100.0 } else { 0.0 };
+                        println!(
+                            "    alloc/iter: {} -> {}  ({bytes_delta:+.1}% bytes)",
+                            fmt_allocs(ba, bb),
+                            fmt_allocs(ca, cb),
+                        );
                     }
                 }
                 (Some(b), None) => {

@@ -1,10 +1,14 @@
-//! The experiment table generator: prints E1..E17 (see DESIGN.md §4).
+//! The experiment table generator: prints E1..E18 (see DESIGN.md §4).
 
 use std::io::Write;
 use vc_bench::experiments::registry;
 
+// Count every allocation the harness makes: E18's live/peak columns (and
+// per-frame alloc counts under --profile) read these process-wide counters.
+vc_obs::counting_allocator!();
+
 const USAGE: &str = "usage: experiments [--quick] [--seed N] [--json DIR] [--trace FILE] \
-     [--timeseries FILE] [--profile FILE] [--folded FILE] [--metrics] [--list] [e1..e17 ...]";
+     [--timeseries FILE] [--profile FILE] [--folded FILE] [--metrics] [--list] [e1..e18 ...]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -77,7 +81,7 @@ fn main() {
 
     if list {
         for exp in registry() {
-            println!("{:<4} {}", exp.id, exp.desc);
+            println!("{:<4} [{:<23}] {}", exp.id, exp.flags, exp.desc);
         }
         return;
     }
@@ -88,7 +92,7 @@ fn main() {
         .collect();
 
     if selected.is_empty() {
-        eprintln!("no experiments matched {wanted:?}; known: e1..e17 (see --list)");
+        eprintln!("no experiments matched {wanted:?}; known: e1..e18 (see --list)");
         std::process::exit(2);
     }
 
@@ -176,9 +180,10 @@ fn main() {
 
     // Experiments are independent (each builds its own seeded scenarios), so
     // run them concurrently and print in order as results land. Timing-
-    // sensitive experiments (E4, E5, E9, E11 measure wall-clock per op) are
-    // run alone afterwards so contention does not distort their numbers.
-    let timed = ["e4", "e5", "e9", "e11"];
+    // sensitive experiments (E4, E5, E9, E11 measure wall-clock per op; E18
+    // reads the process-wide allocator peak) are run alone afterwards so
+    // contention does not distort their numbers.
+    let timed = ["e4", "e5", "e9", "e11", "e18"];
     let (concurrent, sequential): (Vec<_>, Vec<_>) =
         selected.into_iter().partition(|e| !timed.contains(&e.id));
 

@@ -8,6 +8,9 @@
 //! vcstat out.jsonl --histograms    # p50/p90/p99 + sparkline per component.kind
 //! vcstat out.jsonl --causal        # causal chains: e2e percentiles, hops, slowest
 //! vcstat ts.jsonl --timeline       # per-tick metric evolution (timeseries file)
+//! vcstat ts.jsonl --timeline --spike-mult 8   # stricter spike threshold
+//! vcstat ts.jsonl --memory         # memory-footprint report (mem.* gauges)
+//! vcstat profile.json --memory     # top allocating frames + alloc critical path
 //! vcstat out.jsonl --causal --json # machine-readable output for any mode
 //! ```
 //!
@@ -27,6 +30,10 @@
 use std::collections::{BTreeMap, HashMap};
 use vc_obs::Histogram;
 use vc_testkit::json::Json;
+
+// Install the counting allocator so this binary's own memory behaviour is
+// observable too (`vc_obs::mem::stats` works out of the box in a debugger).
+vc_obs::counting_allocator!();
 
 /// One end-to-end causal chain reassembled from its `causal.*` events.
 #[derive(Default)]
@@ -67,7 +74,8 @@ fn die(msg: String) -> ! {
 }
 
 const USAGE: &str = "usage: vcstat TRACE.jsonl [--top N] [--by-kind] [--critical-path] \
-[--histograms] [--causal] [--json]\n       vcstat TIMESERIES.jsonl --timeline [--json]";
+[--histograms] [--causal] [--json]\n       vcstat TIMESERIES.jsonl --timeline [--spike-mult N] \
+[--json]\n       vcstat TIMESERIES.jsonl|PROFILE.json --memory [--top N] [--json]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -78,6 +86,8 @@ fn main() {
     let mut histograms = false;
     let mut causal = false;
     let mut timeline = false;
+    let mut memory = false;
+    let mut spike_mult = 4.0f64;
     let mut json_out = false;
     let mut i = 0;
     while i < args.len() {
@@ -89,11 +99,22 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--spike-mult" => {
+                i += 1;
+                spike_mult =
+                    args.get(i).and_then(|s| s.parse().ok()).filter(|m| *m > 0.0).unwrap_or_else(
+                        || {
+                            eprintln!("--spike-mult needs a positive number");
+                            std::process::exit(2);
+                        },
+                    );
+            }
             "--by-kind" => by_kind = true,
             "--critical-path" => critical_path = true,
             "--histograms" => histograms = true,
             "--causal" => causal = true,
             "--timeline" => timeline = true,
+            "--memory" => memory = true,
             "--json" => json_out = true,
             flag if flag.starts_with("--") => {
                 eprintln!("unknown flag {flag}; {USAGE}");
@@ -108,7 +129,11 @@ fn main() {
         std::process::exit(2);
     };
     if timeline {
-        run_timeline(&path, json_out);
+        run_timeline(&path, json_out, spike_mult);
+        return;
+    }
+    if memory {
+        run_memory(&path, top, json_out);
         return;
     }
     let text =
@@ -616,8 +641,9 @@ fn series_sparkline(values: &[f64]) -> String {
 }
 
 /// Per-metric rollup of a time-series file: the tick-ordered values plus
-/// spike ticks (value > 4x the median over active ticks, needing at least
-/// 4 active ticks so sparse metrics don't self-flag).
+/// spike ticks (value > `spike_mult` × the median over active ticks —
+/// `--spike-mult`, default 4 — needing at least 4 active ticks so sparse
+/// metrics don't self-flag).
 struct MetricSeries {
     values: Vec<f64>,
     total: f64,
@@ -626,7 +652,7 @@ struct MetricSeries {
     spikes: Vec<u64>,
 }
 
-fn metric_rollup(ticks: &[u64], values: Vec<f64>) -> MetricSeries {
+fn metric_rollup(ticks: &[u64], values: Vec<f64>, spike_mult: f64) -> MetricSeries {
     let total = values.iter().sum();
     let (mut peak, mut peak_tick) = (0.0f64, 0u64);
     for (i, &v) in values.iter().enumerate() {
@@ -642,7 +668,7 @@ fn metric_rollup(ticks: &[u64], values: Vec<f64>) -> MetricSeries {
         values
             .iter()
             .enumerate()
-            .filter(|&(_, &v)| v > 4.0 * median)
+            .filter(|&(_, &v)| v > spike_mult * median)
             .map(|(i, _)| ticks[i])
             .collect()
     } else {
@@ -654,7 +680,7 @@ fn metric_rollup(ticks: &[u64], values: Vec<f64>) -> MetricSeries {
 /// The `--timeline` mode: parses a time-series JSONL file (header line +
 /// one per-tick sample per line, as written by `experiments --timeseries`)
 /// and reports how each metric evolved tick over tick.
-fn run_timeline(path: &str, json_out: bool) {
+fn run_timeline(path: &str, json_out: bool, spike_mult: f64) {
     let text =
         std::fs::read_to_string(path).unwrap_or_else(|e| die(format!("cannot read {path}: {e}")));
     let mut lines =
@@ -706,8 +732,10 @@ did you mean vcstat without --timeline?)"
     for values in series.values_mut() {
         values.resize(ticks.len(), 0.0);
     }
-    let rollups: BTreeMap<&String, MetricSeries> =
-        series.iter().map(|(name, values)| (name, metric_rollup(&ticks, values.clone()))).collect();
+    let rollups: BTreeMap<&String, MetricSeries> = series
+        .iter()
+        .map(|(name, values)| (name, metric_rollup(&ticks, values.clone(), spike_mult)))
+        .collect();
 
     if json_out {
         let doc = Json::object([(
@@ -716,6 +744,7 @@ did you mean vcstat without --timeline?)"
                 ("ticks", Json::from(ticks.len() as u64)),
                 ("capacity", Json::from(capacity)),
                 ("dropped", Json::from(dropped)),
+                ("spike_mult", Json::from(spike_mult)),
                 (
                     "metrics",
                     Json::Obj(
@@ -763,7 +792,7 @@ cover only the retained window\n"
     }
     let name_width = rollups.keys().map(|n| n.len()).max().unwrap_or(6).max(6);
     println!(
-        "{:<name_width$}  {:>12}  {:>10}  {:>10}  {:>6}  spikes",
+        "{:<name_width$}  {:>12}  {:>10}  {:>10}  {:>6}  spikes (>{spike_mult}x median)",
         "metric", "total", "mean/tick", "peak", "@tick"
     );
     for (name, m) in &rollups {
@@ -781,6 +810,255 @@ cover only the retained window\n"
         );
         println!("{:<name_width$}  |{}|", "", series_sparkline(&m.values));
     }
+}
+
+/// One profile frame flattened out of a `profile.json` tree: the
+/// `;`-joined stack plus its self (children-excluded) allocation numbers.
+struct AllocFrame {
+    stack: String,
+    calls: u64,
+    self_allocs: u64,
+    self_bytes: u64,
+}
+
+/// Recursively flattens a `profile.json` frame (and its children) into
+/// [`AllocFrame`]s, subtracting child totals to get self numbers.
+fn collect_alloc_frames(doc: &Json, prefix: &str, out: &mut Vec<AllocFrame>) {
+    let Some(label) = doc["label"].as_str() else { return };
+    let stack = if prefix.is_empty() { label.to_owned() } else { format!("{prefix};{label}") };
+    let get = |key: &str| doc[key].as_f64().unwrap_or(0.0) as u64;
+    let (mut self_allocs, mut self_bytes) = (get("allocs"), get("bytes"));
+    if let Json::Arr(children) = &doc["children"] {
+        for child in children {
+            let child_get = |key: &str| child[key].as_f64().unwrap_or(0.0) as u64;
+            self_allocs = self_allocs.saturating_sub(child_get("allocs"));
+            self_bytes = self_bytes.saturating_sub(child_get("bytes"));
+            collect_alloc_frames(child, &stack, out);
+        }
+    }
+    out.push(AllocFrame { stack, calls: get("calls"), self_allocs, self_bytes });
+}
+
+/// The allocation critical path: from the frame tree's heaviest root (by
+/// total bytes) descend into the heaviest child at every level.
+fn print_alloc_critical_path(frames: &Json) {
+    let Json::Arr(roots) = frames else { return };
+    let bytes_of = |d: &Json| d["bytes"].as_f64().unwrap_or(0.0);
+    let Some(mut at) = roots.iter().max_by(|a, b| bytes_of(a).total_cmp(&bytes_of(b))) else {
+        return;
+    };
+    println!("\nallocation critical path (heaviest frame chain by bytes)");
+    let mut depth = 0usize;
+    loop {
+        let bytes = bytes_of(at) as u64;
+        println!(
+            "  {:indent$}{}  {} allocs, {bytes} bytes",
+            "",
+            at["label"].as_str().unwrap_or("?"),
+            at["allocs"].as_f64().unwrap_or(0.0) as u64,
+            indent = depth * 2
+        );
+        let Json::Arr(children) = &at["children"] else { break };
+        let Some(next) = children.iter().max_by(|a, b| bytes_of(a).total_cmp(&bytes_of(b))) else {
+            break;
+        };
+        if bytes_of(next) <= 0.0 {
+            break;
+        }
+        at = next;
+        depth += 1;
+    }
+}
+
+/// The `--memory` report over a `profile.json` file: top frames by self
+/// (children-excluded) allocated bytes, plus the allocation critical path.
+fn memory_from_profile(doc: &Json, path: &str, top: usize, json_out: bool) {
+    let mut frames: Vec<AllocFrame> = Vec::new();
+    if let Json::Arr(roots) = &doc["frames"] {
+        for root in roots {
+            collect_alloc_frames(root, "", &mut frames);
+        }
+    }
+    frames.sort_by(|a, b| {
+        b.self_bytes
+            .cmp(&a.self_bytes)
+            .then(b.self_allocs.cmp(&a.self_allocs))
+            .then(a.stack.cmp(&b.stack))
+    });
+    let total_bytes: u64 = frames.iter().map(|f| f.self_bytes).sum();
+    let total_allocs: u64 = frames.iter().map(|f| f.self_allocs).sum();
+
+    if json_out {
+        let doc = Json::object([(
+            "memory",
+            Json::object([
+                ("source", Json::from("profile")),
+                ("total_allocs", Json::from(total_allocs)),
+                ("total_bytes", Json::from(total_bytes)),
+                (
+                    "frames",
+                    Json::array(frames.iter().take(top).map(|f| {
+                        Json::object([
+                            ("stack", Json::from(f.stack.as_str())),
+                            ("calls", Json::from(f.calls)),
+                            ("self_allocs", Json::from(f.self_allocs)),
+                            ("self_bytes", Json::from(f.self_bytes)),
+                        ])
+                    })),
+                ),
+            ]),
+        )]);
+        println!("{}", doc.to_string_pretty());
+        return;
+    }
+
+    println!(
+        "memory — {path}: {total_allocs} allocations, {total_bytes} bytes across {} frames",
+        frames.len()
+    );
+    if total_bytes == 0 {
+        println!(
+            "  all alloc columns are zero (binary run without the counting allocator, \
+or an old profile.json)"
+        );
+        return;
+    }
+    println!("\ntop {} allocating frames (self bytes, children excluded)", top.min(frames.len()));
+    println!("  {:>12}  {:>10}  {:>8}  {:>10}  stack", "self_bytes", "allocs", "calls", "B/call");
+    for f in frames.iter().take(top) {
+        println!(
+            "  {:>12}  {:>10}  {:>8}  {:>10.1}  {}",
+            f.self_bytes,
+            f.self_allocs,
+            f.calls,
+            f.self_bytes as f64 / f.calls.max(1) as f64,
+            f.stack
+        );
+    }
+    print_alloc_critical_path(&doc["frames"]);
+}
+
+/// The `--memory` report over a time-series file: how each `mem.*`
+/// deep-footprint gauge evolved across the retained window.
+fn memory_from_timeseries(path: &str, top: usize, json_out: bool) {
+    // Reuse the timeline parser's shape: header + one sample per line.
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(format!("cannot read {path}: {e}")));
+    let mut ticks: Vec<u64> = Vec::new();
+    let mut series: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate().map(|(n, l)| (n + 1, l)) {
+        if line.trim().is_empty() || lineno == 1 {
+            continue;
+        }
+        let doc =
+            Json::parse(line).unwrap_or_else(|e| die(format!("{path}:{lineno}: bad JSON: {e}")));
+        let Some(tick) = doc["tick"].as_f64() else {
+            die(format!("{path}:{lineno}: sample lacks numeric \"tick\""));
+        };
+        let sample_idx = ticks.len();
+        ticks.push(tick as u64);
+        let Json::Obj(pairs) = &doc["gauges"] else { continue };
+        for (name, value) in pairs {
+            if !name.starts_with("mem.") {
+                continue;
+            }
+            let Some(v) = value.as_f64() else {
+                die(format!("{path}:{lineno}: non-numeric value for \"{name}\""));
+            };
+            let values = series.entry(name.clone()).or_default();
+            values.resize(sample_idx, 0.0);
+            values.push(v);
+        }
+    }
+    for values in series.values_mut() {
+        values.resize(ticks.len(), 0.0);
+    }
+
+    if json_out {
+        let doc = Json::object([(
+            "memory",
+            Json::object([
+                ("source", Json::from("timeseries")),
+                ("ticks", Json::from(ticks.len() as u64)),
+                (
+                    "metrics",
+                    Json::Obj(
+                        series
+                            .iter()
+                            .map(|(name, values)| {
+                                let m = metric_rollup(&ticks, values.clone(), f64::INFINITY);
+                                (
+                                    name.clone(),
+                                    Json::object([
+                                        ("first", Json::from(*values.first().unwrap_or(&0.0))),
+                                        ("last", Json::from(*values.last().unwrap_or(&0.0))),
+                                        ("peak", Json::from(m.peak)),
+                                        ("peak_tick", Json::from(m.peak_tick)),
+                                    ]),
+                                )
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        )]);
+        println!("{}", doc.to_string_pretty());
+        return;
+    }
+
+    if series.is_empty() {
+        println!(
+            "memory — {path}: no mem.* gauges in {} ticks (run with VC_MEM unset/1 and \
+--timeseries to record deep footprints)",
+            ticks.len()
+        );
+        return;
+    }
+    println!("memory — {path}: deep-footprint gauges over {} retained ticks\n", ticks.len());
+    let name_width = series.keys().map(String::len).max().unwrap_or(6).max(6);
+    println!(
+        "{:<name_width$}  {:>12}  {:>12}  {:>12}  {:>6}  evolution",
+        "gauge", "first B", "last B", "peak B", "@tick"
+    );
+    for (name, values) in series.iter().take(top.max(series.len())) {
+        let m = metric_rollup(&ticks, values.clone(), f64::INFINITY);
+        println!(
+            "{name:<name_width$}  {:>12.0}  {:>12.0}  {:>12.0}  {:>6}  |{}|",
+            values.first().copied().unwrap_or(0.0),
+            values.last().copied().unwrap_or(0.0),
+            m.peak,
+            m.peak_tick,
+            series_sparkline(values),
+        );
+    }
+    let last_total: f64 = series.values().filter_map(|v| v.last()).sum();
+    println!("\n  total deep footprint at last tick: {:.1} KB", last_total / 1024.0);
+}
+
+/// The `--memory` mode: dispatches on file shape — a time-series JSONL
+/// (header line `{"timeseries":…}`) reports `mem.*` gauge evolution; a
+/// `profile.json` tree reports the top allocating frames.
+fn run_memory(path: &str, top: usize, json_out: bool) {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(format!("cannot read {path}: {e}")));
+    let Some(first_line) = text.lines().find(|l| !l.trim().is_empty()) else {
+        die(format!("{path}: empty file"));
+    };
+    if let Ok(doc) = Json::parse(first_line) {
+        if matches!(&doc["timeseries"], Json::Obj(_)) {
+            memory_from_timeseries(path, top, json_out);
+            return;
+        }
+    }
+    let doc = Json::parse(&text).unwrap_or_else(|e| {
+        die(format!(
+            "{path}: --memory needs a time-series JSONL or a profile.json tree (parse: {e})"
+        ))
+    });
+    if !matches!(&doc["frames"], Json::Arr(_)) {
+        die(format!("{path}: not a profile.json (no \"frames\" array) or time-series file"));
+    }
+    memory_from_profile(&doc, path, top, json_out);
 }
 
 /// For each component, follows the slowest root span down through its

@@ -1,0 +1,139 @@
+//! Steady-state allocation checks.
+//!
+//! This test binary installs the counting allocator (`vc_obs::mem`) and
+//! enforces two classes of guarantee:
+//!
+//! * the allocator's own counters behave: counts rise on allocation, live
+//!   bytes fall on drop, `reset_peak` re-baselines the high-water mark;
+//! * the simulator's per-tick hot loops — `Fleet::step_sharded` and
+//!   `NetSim::round` — allocate **nothing** once their scratch buffers are
+//!   warm and the single-shard plan collapses to an inline loop.
+//!
+//! Zero-alloc assertions use [`AllocScope`], which reads *thread-local*
+//! counters, so they are immune to allocation by concurrent test threads.
+//! The global-counter tests serialize on a mutex and use allocations large
+//! enough to dwarf any harness noise.
+
+use std::sync::Mutex;
+
+use vc_net::netsim::NetSim;
+use vc_net::routing::GreedyGeo;
+use vc_obs::mem::{self, AllocScope};
+use vc_sim::prelude::*;
+
+vc_obs::counting_allocator!();
+
+/// Serializes the tests that read the process-wide counters.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+const BIG: usize = 8 * 1024 * 1024;
+
+#[test]
+fn allocator_counts_rise_and_live_falls_on_drop() {
+    let _guard = SERIAL.lock().unwrap();
+    let before = mem::stats();
+    let scope = AllocScope::start();
+    let block: Vec<u8> = Vec::with_capacity(BIG);
+    let mid = mem::stats();
+    drop(block);
+    let delta = scope.finish();
+    let after = mem::stats();
+
+    assert!(delta.allocs >= 1, "thread-local alloc count must rise");
+    assert!(delta.bytes >= BIG as u64, "thread-local bytes must cover the block");
+    // Global counters are monotone, so these hold even with harness noise.
+    assert!(after.allocs > before.allocs);
+    assert!(after.deallocs > before.deallocs);
+    // The 8 MiB block dwarfs anything the test harness allocates around us.
+    assert!(mid.live_bytes >= before.live_bytes + BIG as u64 / 2, "live must rise while held");
+    assert!(after.live_bytes < mid.live_bytes, "live must fall on drop");
+}
+
+#[test]
+fn reset_peak_rebaselines_the_high_water_mark() {
+    let _guard = SERIAL.lock().unwrap();
+    let spike: Vec<u8> = Vec::with_capacity(BIG);
+    drop(spike);
+    let peak_with_spike = mem::stats().peak_bytes;
+    assert!(peak_with_spike >= BIG as u64, "the spike must register in the peak");
+
+    mem::reset_peak();
+    let rebased = mem::stats();
+    assert!(
+        rebased.peak_bytes < peak_with_spike,
+        "reset_peak must forget the spike (peak {} -> {}, live {})",
+        peak_with_spike,
+        rebased.peak_bytes,
+        rebased.live_bytes,
+    );
+
+    let spike2: Vec<u8> = Vec::with_capacity(BIG);
+    let grown = mem::stats().peak_bytes;
+    drop(spike2);
+    assert!(grown >= rebased.peak_bytes + BIG as u64 / 2, "new spikes must set a new peak");
+}
+
+#[test]
+fn fleet_step_sharded_steady_state_allocates_nothing() {
+    let mut rng = SimRng::seed_from(11);
+    let corridor = 3_000.0;
+    let net = RoadNetwork::highway(corridor, 4, 33.3);
+    let mut fleet = Fleet::highway(corridor, 256, &net, &mut rng);
+    // Warm-up: grow the lane scratch / leader buffers to their plateau.
+    for _ in 0..20 {
+        fleet.step_sharded(0.5, &net, 1);
+    }
+    let scope = AllocScope::start();
+    for _ in 0..50 {
+        fleet.step_sharded(0.5, &net, 1);
+    }
+    let delta = scope.finish();
+    assert_eq!(
+        (delta.allocs, delta.bytes),
+        (0, 0),
+        "single-shard fleet stepping must be allocation-free after warm-up"
+    );
+}
+
+#[test]
+fn netsim_round_steady_state_allocates_nothing() {
+    let mut scenario = ScenarioBuilder::new().seed(7).vehicles(64).parking_lot();
+    scenario.shards = 1;
+    let mut sim = NetSim::new(&mut scenario, GreedyGeo);
+    sim.send_random_pairs(8, 128);
+    // Warm-up: the dense lot delivers everything within a few rounds, and
+    // the grid / neighbor-table / snapshot buffers reach their plateau.
+    sim.run_rounds(4);
+    assert_eq!(sim.live_copies(), 0, "warm-up must deliver every packet");
+
+    let scope = AllocScope::start();
+    sim.run_rounds(8);
+    let delta = scope.finish();
+    assert_eq!(
+        (delta.allocs, delta.bytes),
+        (0, 0),
+        "single-shard steady-state rounds must be allocation-free"
+    );
+}
+
+#[test]
+fn sharded_stepping_matches_single_shard_under_counting_allocator() {
+    // The counting allocator sits under every thread the shard fan-out
+    // spawns; this exercises that path and re-checks determinism under it.
+    let build = || {
+        let mut rng = SimRng::seed_from(3);
+        let net = RoadNetwork::highway(2_000.0, 4, 33.3);
+        (Fleet::highway(2_000.0, 600, &net, &mut rng), net)
+    };
+    let (mut a, net_a) = build();
+    let (mut b, net_b) = build();
+    for _ in 0..10 {
+        a.step_sharded(0.5, &net_a, 1);
+        b.step_sharded(0.5, &net_b, 4);
+    }
+    let pa: Vec<(u64, u64)> =
+        a.positions().iter().map(|p| (p.x.to_bits(), p.y.to_bits())).collect();
+    let pb: Vec<(u64, u64)> =
+        b.positions().iter().map(|p| (p.x.to_bits(), p.y.to_bits())).collect();
+    assert_eq!(pa, pb, "shard count must not change trajectories");
+}

@@ -216,10 +216,12 @@ fn list_flag_prints_every_experiment_with_a_description() {
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout).into_owned();
     let lines: Vec<&str> = text.lines().collect();
-    assert_eq!(lines.len(), 17);
+    assert_eq!(lines.len(), 18);
     for (i, line) in lines.iter().enumerate() {
         let id = format!("e{}", i + 1);
         assert!(line.starts_with(&id), "line {i} should start with {id}: {line}");
         assert!(line.len() > id.len() + 4, "missing description: {line}");
+        // Every row advertises its supported flags; profiling is universal.
+        assert!(line.contains("profile"), "line {i} should list its flags: {line}");
     }
 }

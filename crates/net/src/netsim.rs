@@ -110,6 +110,9 @@ pub struct NetSim<'a, P: RoutingProtocol> {
     /// Decides which packets carry a causal trace. Keyed by the scenario
     /// seed, so the traced set is reproducible and shard-count-invariant.
     sampler: Sampler,
+    /// Start-of-round delivery snapshot, reused across rounds so the
+    /// steady-state round loop stays allocation-free.
+    delivered_snap: Vec<bool>,
 }
 
 /// Evaluates one link attempt from `from` to `to` against the read-only
@@ -216,6 +219,7 @@ impl<'a, P: RoutingProtocol> NetSim<'a, P> {
             table: NeighborTable::new(),
             grid,
             sampler,
+            delivered_snap: Vec::new(),
         }
     }
 
@@ -357,8 +361,13 @@ impl<'a, P: RoutingProtocol> NetSim<'a, P> {
         self.protocol.begin_round(&world);
 
         // Snapshot delivery flags so every worker (and every shard count)
-        // sees the same start-of-round state.
-        let delivered_snap: Vec<bool> = self.packets.iter().map(|s| s.delivered).collect();
+        // sees the same start-of-round state. The buffer is a reused field
+        // (taken for the duration of the round to keep the merge loop's
+        // mutable packet borrows legal), so steady-state rounds allocate
+        // nothing here.
+        let mut delivered_snap = std::mem::take(&mut self.delivered_snap);
+        delivered_snap.clear();
+        delivered_snap.extend(self.packets.iter().map(|s| s.delivered));
         let copies = std::mem::take(&mut self.copies);
         let record = rec.is_some();
         let now = self.now;
@@ -525,9 +534,27 @@ impl<'a, P: RoutingProtocol> NetSim<'a, P> {
         }
         surviving.extend(new_copies);
         self.copies = surviving;
+        self.delivered_snap = delivered_snap;
         // One time-series sample per round (no-op unless the recorder's
-        // windowed mode is enabled).
+        // windowed mode is enabled). When memory observability is on
+        // (`VC_MEM` unset or non-zero), deep-footprint gauges ride the
+        // tick; they are derived from lengths and capacities only — never
+        // allocator state — so the exported series stays byte-identical
+        // at every shard count. The gauges only ever surface through the
+        // time series, so they are computed only when it is armed —
+        // `rec.mem_bytes()` walks the retained events, and paying that
+        // every round on a plain traced run would be pure overhead.
         if let Some(rec) = reborrow(&mut rec) {
+            if vc_obs::mem::enabled() && rec.timeseries().is_some() {
+                use vc_obs::MemSize;
+                let fleet = self.scenario.fleet.heap_bytes() + self.scenario.roadnet.heap_bytes();
+                let net = self.heap_bytes();
+                let obs = rec.mem_bytes();
+                let hub = rec.hub_mut();
+                hub.gauge_set("mem.fleet.bytes", fleet as f64);
+                hub.gauge_set("mem.net.bytes", net as f64);
+                hub.gauge_set("mem.obs.bytes", obs as f64);
+            }
             rec.timeseries_tick(now);
         }
     }
@@ -551,6 +578,27 @@ impl<'a, P: RoutingProtocol> NetSim<'a, P> {
     /// Number of live copies (diagnostic).
     pub fn live_copies(&self) -> usize {
         self.copies.len()
+    }
+
+    /// Deep heap footprint of the network layer's own state — packet
+    /// states (including carried-by sets), live copies, per-delivery
+    /// statistics, the neighbor table, and the spatial grid — in bytes.
+    ///
+    /// Derived from lengths and capacities only, never from allocator
+    /// state, so the value is identical at every shard count.
+    pub fn heap_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        let packets = (self.packets.capacity() * size_of::<PacketState>()) as u64
+            + self
+                .packets
+                .iter()
+                .map(|s| s.carried.capacity() as u64 * (size_of::<VehicleId>() as u64 + 1))
+                .sum::<u64>();
+        let copies = (self.copies.capacity() * size_of::<Copy>()) as u64;
+        let stats = (self.stats.latencies_s.capacity() * size_of::<f64>()) as u64
+            + (self.stats.hops.capacity() * size_of::<u32>()) as u64;
+        let snap = self.delivered_snap.capacity() as u64;
+        packets + copies + stats + snap + self.table.heap_bytes() + self.grid.heap_bytes()
     }
 }
 
@@ -787,6 +835,34 @@ mod tests {
                 panic!("{} missing trace field", event.kind);
             };
             assert!(origins.contains(trace), "{} orphaned trace {trace}", event.kind);
+        }
+    }
+
+    #[test]
+    fn heap_bytes_and_mem_gauges_are_shard_count_invariant() {
+        // Deep-footprint numbers come from lengths/capacities, so every
+        // shard count must report bit-identical gauges and totals.
+        let run = |shards: usize| {
+            let mut scenario = dense_urban(11, 150);
+            scenario.shards = shards;
+            let mut sim = NetSim::new(&mut scenario, Epidemic);
+            let mut rec = Recorder::new();
+            rec.enable_timeseries(64);
+            sim.send_random_pairs_obs(30, 128, Some(&mut rec));
+            sim.run_rounds_obs(30, Some(&mut rec));
+            let gauges: Vec<(String, u64)> =
+                rec.hub().gauges().map(|(k, v)| (k.to_owned(), v.to_bits())).collect();
+            (sim.heap_bytes(), gauges)
+        };
+        let (bytes, gauges) = run(1);
+        assert!(bytes > 0, "a live sim owns heap");
+        if vc_obs::mem::enabled() {
+            for name in ["mem.fleet.bytes", "mem.net.bytes", "mem.obs.bytes"] {
+                assert!(gauges.iter().any(|(k, _)| k == name), "missing gauge {name}");
+            }
+        }
+        for shards in [2usize, 4] {
+            assert_eq!(run(shards), (bytes, gauges.clone()), "diverged at {shards} shards");
         }
     }
 

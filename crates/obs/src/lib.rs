@@ -23,6 +23,12 @@
 //!   message carries a [`TraceId`] across hops, and the resulting
 //!   `causal.*` event chain reconstructs the full admission → relay →
 //!   delivery path (`vcstat --causal`).
+//! * [`mem`] — the heap half of the budget: a counting
+//!   `#[global_allocator]` wrapper (binaries opt in via
+//!   `counting_allocator!`), per-frame alloc accounting through the
+//!   profiler, and the [`MemSize`] deep-footprint trait feeding
+//!   deterministic `mem.*` gauges (`VC_MEM=0` turns all reporting off,
+//!   provably inert like `VC_TRACE_SAMPLE=0`).
 //! * [`TimeSeries`] — the windowed per-tick mode of [`MetricsHub`]:
 //!   snapshot diffs pushed into a fixed-capacity ring, exported as JSONL
 //!   (`experiments --timeseries`, `vcstat --timeline`).
@@ -47,14 +53,18 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: `mem::CountingAlloc`'s `GlobalAlloc` impl is the
+// one scoped `#[allow(unsafe_code)]` in the crate.
+#![deny(unsafe_code)]
 
 pub mod causal;
+pub mod mem;
 pub mod metrics;
 pub mod profile;
 pub mod record;
 
 pub use causal::{SampleRate, Sampler, TraceId};
+pub use mem::{AllocDelta, AllocScope, CountingAlloc, MemSize};
 pub use metrics::{Histogram, MetricsHub, Snapshot, SnapshotDiff, TickSample, TimeSeries};
 pub use record::{Event, EventBuf, Recorder, SpanId, SpanPhase};
 pub use vc_sim::probe::{Probe, Value};

@@ -435,6 +435,43 @@ impl TimeSeries {
     }
 }
 
+impl crate::mem::MemSize for Histogram {
+    // Buckets are an inline `[u64; 64]`; a histogram owns no heap.
+    fn mem_bytes(&self) -> u64 {
+        0
+    }
+}
+
+impl crate::mem::MemSize for MetricsHub {
+    fn mem_bytes(&self) -> u64 {
+        self.counters.mem_bytes() + self.gauges.mem_bytes() + self.histograms.mem_bytes()
+    }
+}
+
+impl crate::mem::MemSize for Snapshot {
+    fn mem_bytes(&self) -> u64 {
+        self.counters.mem_bytes() + self.gauges.mem_bytes() + self.histograms.mem_bytes()
+    }
+}
+
+impl crate::mem::MemSize for SnapshotDiff {
+    fn mem_bytes(&self) -> u64 {
+        self.counters.mem_bytes() + self.gauges.mem_bytes() + self.histogram_counts.mem_bytes()
+    }
+}
+
+impl crate::mem::MemSize for TickSample {
+    fn mem_bytes(&self) -> u64 {
+        self.diff.mem_bytes()
+    }
+}
+
+impl crate::mem::MemSize for TimeSeries {
+    fn mem_bytes(&self) -> u64 {
+        self.samples.mem_bytes() + self.last.mem_bytes()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -564,6 +601,82 @@ mod tests {
                 r#"{"tick":0,"at_us":500000,"counters":{"sim.radio.tx":2},"gauges":{},"histogram_counts":{}}"#,
             ]
         );
+    }
+
+    #[test]
+    fn timeseries_header_with_zero_ticks_is_the_whole_export() {
+        // An untouched window exports exactly one line: the meta header
+        // with ticks and dropped both zero.
+        let ts = TimeSeries::new(3);
+        let mut out = Vec::new();
+        ts.write_jsonl(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(
+            text.lines().collect::<Vec<_>>(),
+            vec![r#"{"timeseries":{"version":1,"capacity":3,"ticks":0,"dropped":0}}"#]
+        );
+    }
+
+    #[test]
+    fn timeseries_single_tick_header_counts_one() {
+        let mut ts = TimeSeries::new(3);
+        ts.tick(1_000, &MetricsHub::new());
+        let mut out = Vec::new();
+        ts.write_jsonl(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], r#"{"timeseries":{"version":1,"capacity":3,"ticks":1,"dropped":0}}"#);
+    }
+
+    #[test]
+    fn timeseries_wrap_exactly_at_capacity_drops_nothing() {
+        // Filling the window to exactly its capacity must not count a
+        // drop; one tick past capacity must count exactly one.
+        let hub = MetricsHub::new();
+        let mut ts = TimeSeries::new(3);
+        for i in 0..3u64 {
+            ts.tick(i * 1_000, &hub);
+        }
+        assert_eq!((ts.len(), ts.ticks(), ts.dropped()), (3, 3, 0));
+        let header = |ts: &TimeSeries| {
+            let mut out = Vec::new();
+            ts.write_jsonl(&mut out).unwrap();
+            String::from_utf8(out).unwrap().lines().next().unwrap().to_owned()
+        };
+        assert_eq!(
+            header(&ts),
+            r#"{"timeseries":{"version":1,"capacity":3,"ticks":3,"dropped":0}}"#
+        );
+        ts.tick(3_000, &hub);
+        assert_eq!((ts.len(), ts.ticks(), ts.dropped()), (3, 4, 1));
+        assert_eq!(
+            header(&ts),
+            r#"{"timeseries":{"version":1,"capacity":3,"ticks":4,"dropped":1}}"#
+        );
+        // The oldest sample rolled off: the retained range starts at seq 1.
+        assert_eq!(ts.samples().next().unwrap().seq, 1);
+    }
+
+    #[test]
+    fn hub_and_timeseries_mem_bytes_grow_with_content() {
+        use crate::mem::MemSize;
+        let mut hub = MetricsHub::new();
+        assert_eq!(hub.mem_bytes(), 0);
+        hub.counter_add("net.forward", 1);
+        hub.gauge_set("mem.fleet.bytes", 1.0);
+        hub.observe("net.e2e.s", 0.5);
+        let one = hub.mem_bytes();
+        assert!(one > 0);
+        for i in 0..64 {
+            hub.counter_add(&format!("sim.shard{i}.steps"), 1);
+        }
+        assert!(hub.mem_bytes() > one);
+
+        let mut ts = TimeSeries::new(8);
+        let empty = ts.mem_bytes();
+        ts.tick(1_000, &hub);
+        assert!(ts.mem_bytes() > empty, "snapshot + sample should add heap");
     }
 
     #[test]

@@ -40,12 +40,17 @@
 //!
 //! * [`Profiler::to_json`] — a `profile.json` tree:
 //!   `{"version":1,"total_ns":…,"frames":[{"label","calls","total_ns",
-//!   "self_ns","children":[…]},…]}` with children sorted by label, so the
-//!   *schema and shape* are deterministic (the nanosecond values are wall
-//!   clock and are not).
+//!   "self_ns","allocs","bytes","children":[…]},…]}` with children sorted
+//!   by label, so the *schema and shape* are deterministic (the nanosecond
+//!   values are wall clock and are not). `allocs`/`bytes` count the heap
+//!   allocations observed on the profiling thread while each frame was
+//!   open (children included, like `total_ns`); they stay zero unless the
+//!   binary installed `vc_obs::counting_allocator!`.
 //! * [`Profiler::collapsed`] — collapsed-stack text, one
 //!   `root;child;leaf <self_ns>` line per frame with nonzero self time,
 //!   sorted lexically: feed it straight to any flamegraph renderer.
+//!   [`Profiler::collapsed_bytes`] is the allocation twin, weighted by
+//!   self heap bytes.
 
 use std::cell::RefCell;
 use std::time::{Duration, Instant};
@@ -57,6 +62,12 @@ struct Node {
     label: &'static str,
     calls: u64,
     total_ns: u64,
+    /// Heap allocations performed on this thread while the frame was open
+    /// (children included, like `total_ns`). Zero unless the binary
+    /// installed `vc_obs::counting_allocator!`.
+    allocs: u64,
+    /// Heap bytes allocated while the frame was open (children included).
+    bytes: u64,
     children: Vec<usize>,
 }
 
@@ -94,7 +105,14 @@ impl Profiler {
             Some(i) => i,
             None => {
                 let idx = self.nodes.len();
-                self.nodes.push(Node { label, calls: 0, total_ns: 0, children: Vec::new() });
+                self.nodes.push(Node {
+                    label,
+                    calls: 0,
+                    total_ns: 0,
+                    allocs: 0,
+                    bytes: 0,
+                    children: Vec::new(),
+                });
                 match self.stack.last() {
                     Some(&parent) => self.nodes[parent].children.push(idx),
                     None => self.roots.push(idx),
@@ -108,9 +126,19 @@ impl Profiler {
     /// Closes the innermost open frame, attributing `elapsed_ns` to it.
     /// Ignored when no frame is open.
     pub fn exit(&mut self, elapsed_ns: u64) {
+        self.exit_with(elapsed_ns, 0, 0);
+    }
+
+    /// [`Profiler::exit`] carrying the allocation activity observed while
+    /// the frame was open: `allocs` heap allocations totalling `bytes`
+    /// (cumulative with children, like `elapsed_ns`). The RAII [`Frame`]
+    /// guard captures these from `vc_obs::mem`'s thread counters.
+    pub fn exit_with(&mut self, elapsed_ns: u64, allocs: u64, bytes: u64) {
         if let Some(idx) = self.stack.pop() {
             self.nodes[idx].calls += 1;
             self.nodes[idx].total_ns += elapsed_ns;
+            self.nodes[idx].allocs += allocs;
+            self.nodes[idx].bytes += bytes;
         }
     }
 
@@ -148,10 +176,29 @@ impl Profiler {
         self.find(path).map(|i| self.node_self_ns(i))
     }
 
+    /// Heap allocations recorded for the frame at `path` (children
+    /// included, like [`Profiler::total_ns`]), or `None` when no such
+    /// frame exists. Zero without the counting allocator installed.
+    pub fn allocs(&self, path: &[&str]) -> Option<u64> {
+        self.find(path).map(|i| self.nodes[i].allocs)
+    }
+
+    /// Heap bytes allocated while the frame at `path` was open (children
+    /// included). Zero without the counting allocator installed.
+    pub fn alloc_bytes(&self, path: &[&str]) -> Option<u64> {
+        self.find(path).map(|i| self.nodes[i].bytes)
+    }
+
     fn node_self_ns(&self, idx: usize) -> u64 {
         let node = &self.nodes[idx];
         let children: u64 = node.children.iter().map(|&c| self.nodes[c].total_ns).sum();
         node.total_ns.saturating_sub(children)
+    }
+
+    fn node_self_bytes(&self, idx: usize) -> u64 {
+        let node = &self.nodes[idx];
+        let children: u64 = node.children.iter().map(|&c| self.nodes[c].bytes).sum();
+        node.bytes.saturating_sub(children)
     }
 
     fn sorted(&self, indices: &[usize]) -> Vec<usize> {
@@ -167,6 +214,8 @@ impl Profiler {
             ("calls".to_string(), Json::from(node.calls)),
             ("total_ns".to_string(), Json::from(node.total_ns)),
             ("self_ns".to_string(), Json::from(self.node_self_ns(idx))),
+            ("allocs".to_string(), Json::from(node.allocs)),
+            ("bytes".to_string(), Json::from(node.bytes)),
         ];
         if !node.children.is_empty() {
             let children = self.sorted(&node.children);
@@ -195,10 +244,22 @@ impl Profiler {
     /// with nonzero self time, sorted lexically — the input format
     /// flamegraph tools consume.
     pub fn collapsed(&self) -> String {
+        self.collapsed_by(&Profiler::node_self_ns)
+    }
+
+    /// Collapsed-stack text weighted by *self heap bytes* instead of self
+    /// nanoseconds — the same flamegraph input format, rendering where the
+    /// allocations (not the time) went. All-zero without the counting
+    /// allocator installed (`experiments --folded-alloc`).
+    pub fn collapsed_bytes(&self) -> String {
+        self.collapsed_by(&Profiler::node_self_bytes)
+    }
+
+    fn collapsed_by(&self, weight: &dyn Fn(&Profiler, usize) -> u64) -> String {
         let mut lines = Vec::new();
         let mut stack: Vec<&'static str> = Vec::new();
         for &root in &self.sorted(&self.roots) {
-            self.collect_collapsed(root, &mut stack, &mut lines);
+            self.collect_collapsed(root, &mut stack, &mut lines, weight);
         }
         lines.sort();
         let mut out = String::new();
@@ -214,14 +275,15 @@ impl Profiler {
         idx: usize,
         stack: &mut Vec<&'static str>,
         lines: &mut Vec<String>,
+        weight: &dyn Fn(&Profiler, usize) -> u64,
     ) {
         stack.push(self.nodes[idx].label);
-        let self_ns = self.node_self_ns(idx);
-        if self_ns > 0 {
-            lines.push(format!("{} {}", stack.join(";"), self_ns));
+        let w = weight(self, idx);
+        if w > 0 {
+            lines.push(format!("{} {}", stack.join(";"), w));
         }
         for &child in &self.sorted(&self.nodes[idx].children) {
-            self.collect_collapsed(child, stack, lines);
+            self.collect_collapsed(child, stack, lines, weight);
         }
         stack.pop();
     }
@@ -263,6 +325,9 @@ pub fn is_active() -> bool {
 pub struct Frame {
     start: Option<Instant>,
     armed: Option<u64>,
+    /// Thread alloc counters `(allocs, bytes)` at open; only snapshotted
+    /// when a profiler is armed, so unprofiled frames stay two TLS reads.
+    alloc_start: Option<(u64, u64)>,
 }
 
 impl Frame {
@@ -275,16 +340,24 @@ impl Frame {
             })
         });
         let start = if armed.is_some() || always_time { Some(Instant::now()) } else { None };
-        Frame { start, armed }
+        let alloc_start = armed.is_some().then(crate::mem::thread_counters);
+        Frame { start, armed, alloc_start }
     }
 
     fn close(&mut self) -> Duration {
         let elapsed = self.start.take().map(|s| s.elapsed()).unwrap_or_default();
         if let Some(id) = self.armed.take() {
+            let (allocs, bytes) = match self.alloc_start.take() {
+                Some((a0, b0)) => {
+                    let (a1, b1) = crate::mem::thread_counters();
+                    (a1 - a0, b1 - b0)
+                }
+                None => (0, 0),
+            };
             CURRENT.with(|c| {
                 if let Some((cur, p)) = c.borrow_mut().as_mut() {
                     if *cur == id {
-                        p.exit(elapsed.as_nanos() as u64);
+                        p.exit_with(elapsed.as_nanos() as u64, allocs, bytes);
                     }
                 }
             });
@@ -441,6 +514,39 @@ mod tests {
             assert!(!stack.is_empty());
             assert!(ns.parse::<u64>().expect("numeric weight") > 0);
         }
+    }
+
+    #[test]
+    fn alloc_columns_aggregate_through_exit_with() {
+        let mut p = Profiler::new();
+        p.enter("round");
+        p.enter("shard");
+        p.exit_with(10, 3, 96);
+        p.exit_with(50, 5, 128);
+        assert_eq!(p.allocs(&["round"]), Some(5));
+        assert_eq!(p.alloc_bytes(&["round"]), Some(128));
+        assert_eq!(p.allocs(&["round", "shard"]), Some(3));
+        let doc = p.to_json();
+        assert_eq!(doc["frames"][0]["allocs"].as_f64(), Some(5.0));
+        assert_eq!(doc["frames"][0]["bytes"].as_f64(), Some(128.0));
+        // Self bytes: 128 - 96 = 32 for the root, 96 for the leaf.
+        let folded = p.collapsed_bytes();
+        assert!(folded.contains("round 32"), "folded: {folded}");
+        assert!(folded.contains("round;shard 96"), "folded: {folded}");
+    }
+
+    #[test]
+    fn frames_without_counting_allocator_report_zero_allocs() {
+        // The obs test binary does not install the counting allocator, so
+        // the capture degrades to zeros (never garbage), and the JSON keys
+        // are still present for schema stability.
+        let ((), prof) = run_scoped(|| {
+            let _f = frame("alloc-free");
+            let v: Vec<u8> = Vec::with_capacity(512);
+            drop(v);
+        });
+        assert_eq!(prof.allocs(&["alloc-free"]), Some(0));
+        assert_eq!(prof.alloc_bytes(&["alloc-free"]), Some(0));
     }
 
     #[test]

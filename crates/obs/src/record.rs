@@ -354,6 +354,34 @@ impl Default for Recorder {
     }
 }
 
+impl crate::mem::MemSize for Event {
+    fn mem_bytes(&self) -> u64 {
+        (self.fields.capacity() * std::mem::size_of::<(&'static str, Value)>()) as u64
+            + self
+                .fields
+                .iter()
+                .map(|(_, v)| match v {
+                    Value::Str(s) => s.capacity() as u64,
+                    _ => 0,
+                })
+                .sum::<u64>()
+    }
+}
+
+impl crate::mem::MemSize for Recorder {
+    /// Deep heap bytes of the event ring (by capacity, plus per-event
+    /// field storage), open-span bookkeeping, the embedded hub, and the
+    /// time series when enabled — the `mem.obs.bytes` gauge.
+    fn mem_bytes(&self) -> u64 {
+        use crate::mem::MemSize;
+        (self.events.capacity() * std::mem::size_of::<Event>()) as u64
+            + self.events.iter().map(MemSize::mem_bytes).sum::<u64>()
+            + (self.open.capacity() * std::mem::size_of::<OpenSpan>()) as u64
+            + self.hub.mem_bytes()
+            + self.timeseries.as_ref().map_or(0, MemSize::mem_bytes)
+    }
+}
+
 impl Probe for Recorder {
     fn emit(
         &mut self,
@@ -529,6 +557,74 @@ mod tests {
         assert_eq!(samples[0].diff.counters.get("sim.tick"), Some(&1));
         assert_eq!(samples[1].diff.counters.get("net.routing.deliver"), Some(&1));
         assert!(!samples[1].diff.counters.contains_key("sim.tick"));
+    }
+
+    /// Extracts the `trace.end` trailer's `(retained, dropped)` from a
+    /// serialized ring trace.
+    fn trailer_counts(rec: &Recorder) -> Option<(u64, u64)> {
+        let mut out = Vec::new();
+        rec.write_jsonl(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let last = text.lines().last()?;
+        if !last.contains("trace.end") {
+            return None;
+        }
+        let doc = Json::parse(last).unwrap();
+        Some((
+            doc["fields"]["retained"].as_f64().unwrap() as u64,
+            doc["fields"]["dropped"].as_f64().unwrap() as u64,
+        ))
+    }
+
+    #[test]
+    fn empty_ring_trace_is_trailer_only() {
+        // Zero events: the ring trailer must still appear, with both
+        // counts zero, so a consumer can tell "empty" from "not a ring".
+        let rec = Recorder::ring(4);
+        assert_eq!(trailer_counts(&rec), Some((0, 0)));
+        let mut out = Vec::new();
+        rec.write_jsonl(&mut out).unwrap();
+        assert_eq!(String::from_utf8(out).unwrap().lines().count(), 1);
+    }
+
+    #[test]
+    fn single_event_ring_trace_retains_one_drops_zero() {
+        let mut rec = Recorder::ring(4);
+        rec.event(t(1), "sim", "tick", Vec::new());
+        assert_eq!(trailer_counts(&rec), Some((1, 0)));
+    }
+
+    #[test]
+    fn ring_wrap_exactly_at_capacity_drops_nothing() {
+        // Filling the ring to exactly its capacity must not count a drop;
+        // one event past capacity must count exactly one.
+        let mut rec = Recorder::ring(3);
+        for i in 0..3u64 {
+            rec.event(t(i), "sim", "tick", Vec::new());
+        }
+        assert_eq!((rec.len(), rec.dropped()), (3, 0));
+        assert_eq!(trailer_counts(&rec), Some((3, 0)));
+        rec.event(t(3), "sim", "tick", Vec::new());
+        assert_eq!((rec.len(), rec.dropped()), (3, 1));
+        assert_eq!(trailer_counts(&rec), Some((3, 1)));
+        // The oldest event rolled off; the window starts at t=1.
+        assert_eq!(rec.events().next().unwrap().at, t(1));
+    }
+
+    #[test]
+    fn recorder_mem_bytes_tracks_growth_and_is_deterministic() {
+        use crate::mem::MemSize;
+        let build = |events: u64| {
+            let mut rec = Recorder::new();
+            for i in 0..events {
+                rec.event(t(i), "sim", "tick", vec![("i", i.into())]);
+            }
+            rec
+        };
+        let small = build(4).mem_bytes();
+        let big = build(4096).mem_bytes();
+        assert!(small > 0 && big > small, "small {small}, big {big}");
+        assert_eq!(build(100).mem_bytes(), build(100).mem_bytes());
     }
 
     #[test]

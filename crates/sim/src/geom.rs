@@ -252,6 +252,17 @@ impl SpatialGrid {
         self.cell_size
     }
 
+    /// Deep heap bytes: hash-table slots (one `(key, bucket)` pair plus a
+    /// control byte per slot of capacity, the SwissTable layout) plus each
+    /// cell bucket's capacity. Iteration order is randomized but the sum
+    /// is order-independent, so the figure is deterministic.
+    pub fn heap_bytes(&self) -> u64 {
+        let slot = std::mem::size_of::<((i64, i64), Vec<(usize, Point)>)>() as u64 + 1;
+        let buckets: usize =
+            self.cells.values().map(|v| v.capacity() * std::mem::size_of::<(usize, Point)>()).sum();
+        self.cells.capacity() as u64 * slot + buckets as u64
+    }
+
     fn key(&self, p: Point) -> (i64, i64) {
         ((p.x / self.cell_size).floor() as i64, (p.y / self.cell_size).floor() as i64)
     }

@@ -149,6 +149,13 @@ pub struct Fleet {
     /// vehicle's own stream, which is what makes the sharded step bitwise
     /// equal to the sequential one.
     rngs: Vec<SimRng>,
+    /// Reused IDM leader-lookup scratch: `(lane key, fleet index, offset,
+    /// speed)` rows, sorted in place each step. Keeping the buffers on the
+    /// fleet makes the steady-state tick allocation-free (asserted by the
+    /// bench crate's memcheck tests).
+    lane_scratch: Vec<((i8, i64), usize, f64, f64)>,
+    /// Reused per-vehicle leader output for [`Fleet::step_sharded`].
+    leaders: Vec<Option<(f64, f64)>>,
 }
 
 impl Fleet {
@@ -282,6 +289,33 @@ impl Fleet {
         self.online.iter().filter(|&&o| o).count()
     }
 
+    /// Deep heap bytes owned by the fleet: the SoA slabs (by capacity —
+    /// the memory actually reserved), per-vehicle waypoint paths, and the
+    /// reused stepping scratch. Derived purely from capacities and
+    /// lengths, so structurally identical fleets report identical bytes
+    /// regardless of shard count or allocator — which lets the
+    /// `mem.fleet.bytes` gauge ride in the byte-compared deterministic
+    /// time-series (`vc_obs::mem`).
+    pub fn heap_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        let paths: usize = self
+            .vehicles
+            .iter()
+            .map(|v| match &v.mobility {
+                Mobility::Waypoint(w) => w.path.capacity() * size_of::<NodeId>(),
+                _ => 0,
+            })
+            .sum();
+        (self.vehicles.capacity() * size_of::<Vehicle>()
+            + paths
+            + self.pos.capacity() * size_of::<Point>()
+            + self.vel.capacity() * size_of::<Point>()
+            + self.online.capacity()
+            + self.rngs.capacity() * size_of::<SimRng>()
+            + self.lane_scratch.capacity() * size_of::<((i8, i64), usize, f64, f64)>()
+            + self.leaders.capacity() * size_of::<Option<(f64, f64)>>()) as u64
+    }
+
     /// Advances every online vehicle by `dt` seconds using the configured
     /// shard count ([`crate::shard::shard_count`], i.e. `VC_SHARDS`).
     /// Cruising vehicles follow IDM car-following against the leader in
@@ -295,12 +329,15 @@ impl Fleet {
     /// own RNG stream and writes only its own state slot, so the partition
     /// is invisible.
     pub fn step_sharded(&mut self, dt: f64, net: &RoadNetwork, shards: usize) {
-        let leaders = self.lane_leaders();
+        self.lane_leaders();
         let idm = IdmParams::default();
         let n = self.vehicles.len();
-        let plan = ShardPlan::new(n, shards);
-        let Fleet { vehicles, pos, vel, online, rngs } = self;
-        if plan.len() <= 1 {
+        let Fleet { vehicles, pos, vel, online, rngs, lane_scratch: _, leaders } = self;
+        let leaders: &[Option<(f64, f64)>] = leaders;
+        // Check the effective shard count before building a plan: the
+        // collapsed single-shard path must stay allocation-free at steady
+        // state (`ShardPlan::new` allocates its range vector).
+        if ShardPlan::effective(n, shards) <= 1 {
             for i in 0..n {
                 if online[i] {
                     step_one(
@@ -318,7 +355,7 @@ impl Fleet {
             return;
         }
         let online: &[bool] = online;
-        let leaders: &[Option<(f64, f64)>] = &leaders;
+        let plan = ShardPlan::new(n, shards);
         std::thread::scope(|scope| {
             let mut veh_rest: &mut [Vehicle] = vehicles;
             let mut pos_rest: &mut [Point] = pos;
@@ -353,41 +390,49 @@ impl Fleet {
         });
     }
 
-    /// IDM leader lookup: for each online cruiser, the (gap, leader speed)
-    /// pair of the next vehicle ahead in its (direction, lane). `None`
-    /// everywhere else. Deterministic and shard-count independent — this
-    /// read-only pass runs on the coordinator before the shards fan out.
-    fn lane_leaders(&self) -> Vec<Option<(f64, f64)>> {
-        // Per lane: (fleet index, offset along corridor, speed).
-        type LaneMap = std::collections::BTreeMap<(i8, i64), Vec<(usize, f64, f64)>>;
-        let mut lanes: LaneMap = std::collections::BTreeMap::new();
+    /// IDM leader lookup: for each online cruiser, fills `self.leaders`
+    /// with the (gap, leader speed) pair of the next vehicle ahead in its
+    /// (direction, lane); `None` everywhere else. Deterministic and
+    /// shard-count independent — this read-only pass runs on the
+    /// coordinator before the shards fan out.
+    ///
+    /// Runs entirely in the fleet's reused scratch buffers: one flat row
+    /// vector ordered by an in-place unstable sort whose comparator is a
+    /// *total* order (lane key, travel order within the lane, fleet index),
+    /// so the result is the unique sorted permutation — bitwise identical
+    /// to the former per-lane stable sort, without its per-step
+    /// `BTreeMap`/`Vec` churn.
+    fn lane_leaders(&mut self) {
+        self.lane_scratch.clear();
         for (i, v) in self.vehicles.iter().enumerate() {
             if !self.online[i] {
                 continue;
             }
             if let Mobility::Cruise(c) = &v.mobility {
                 let key = (c.direction as i8, (c.lane_y * 2.0).round() as i64);
-                lanes.entry(key).or_default().push((i, c.offset_m, c.speed));
+                self.lane_scratch.push((key, i, c.offset_m, c.speed));
             }
         }
-        let mut leaders: Vec<Option<(f64, f64)>> = vec![None; self.vehicles.len()];
-        for ((dir, _), members) in &mut lanes {
-            // Sort by travel order: ascending offset for +1, descending for -1.
-            members.sort_by(|a, b| {
-                let ord = a.1.partial_cmp(&b.1).expect("finite offsets");
-                if *dir > 0 {
-                    ord
-                } else {
-                    ord.reverse()
-                }
-            });
-            for w in members.windows(2) {
-                let (follower, leader) = (&w[0], &w[1]);
-                let gap = (leader.1 - follower.1).abs();
-                leaders[follower.0] = Some((gap, leader.2));
+        self.lane_scratch.sort_unstable_by(|a, b| {
+            a.0.cmp(&b.0).then_with(|| {
+                // Travel order: ascending offset east-bound, descending
+                // west-bound; fleet index breaks exact-offset ties the way
+                // the old stable sort did.
+                let ord = a.2.partial_cmp(&b.2).expect("finite offsets");
+                let ord = if a.0 .0 > 0 { ord } else { ord.reverse() };
+                ord.then(a.1.cmp(&b.1))
+            })
+        });
+        self.leaders.clear();
+        self.leaders.resize(self.vehicles.len(), None);
+        for w in self.lane_scratch.windows(2) {
+            let (follower, leader) = (&w[0], &w[1]);
+            if follower.0 != leader.0 {
+                continue; // lane boundary
             }
+            let gap = (leader.2 - follower.2).abs();
+            self.leaders[follower.1] = Some((gap, leader.3));
         }
-        leaders
     }
 
     /// Builds an urban fleet of `n` waypoint vehicles on `net`.
@@ -811,6 +856,26 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn heap_bytes_is_deterministic_and_shard_invariant() {
+        let hwy = RoadNetwork::highway(2000.0, 3, 33.3);
+        let build = || {
+            let mut rng = SimRng::seed_from(9);
+            Fleet::highway(2000.0, 500, &hwy, &mut rng)
+        };
+        let mut a = build();
+        let mut b = build();
+        assert!(a.heap_bytes() > 0);
+        assert_eq!(a.heap_bytes(), b.heap_bytes());
+        // Stepping with different shard counts must leave the reported
+        // footprint identical (the gauge rides in byte-compared output).
+        for _ in 0..30 {
+            a.step_sharded(0.5, &hwy, 1);
+            b.step_sharded(0.5, &hwy, 4);
+        }
+        assert_eq!(a.heap_bytes(), b.heap_bytes());
     }
 
     #[test]

@@ -319,6 +319,15 @@ impl NeighborTable {
         NeighborTable { offsets: vec![0], flat: Vec::new() }
     }
 
+    /// Deep heap bytes of the CSR arrays, by capacity (the reserved
+    /// memory, which in-place rebuilds keep across rounds). Deterministic
+    /// and shard-count invariant, so the `mem.net.bytes` gauge built on it
+    /// can ride in byte-compared time-series output.
+    pub fn heap_bytes(&self) -> u64 {
+        (self.offsets.capacity() * std::mem::size_of::<u32>()
+            + self.flat.capacity() * std::mem::size_of::<VehicleId>()) as u64
+    }
+
     /// Builds the table from vehicle positions (id = index) and a channel
     /// range. Offline vehicles should be passed with a position but excluded
     /// via `online`.

@@ -77,6 +77,22 @@ impl RoadNetwork {
         RoadNetwork::default()
     }
 
+    /// Deep heap bytes of the graph and (when built) its lazy spatial
+    /// index, by capacity. Deterministic for identically constructed and
+    /// identically queried networks.
+    pub fn heap_bytes(&self) -> u64 {
+        let adjacency = self.adjacency.capacity() * std::mem::size_of::<Vec<RoadId>>()
+            + self
+                .adjacency
+                .iter()
+                .map(|a| a.capacity() * std::mem::size_of::<RoadId>())
+                .sum::<usize>();
+        (self.intersections.capacity() * std::mem::size_of::<Intersection>()
+            + self.roads.capacity() * std::mem::size_of::<Road>()
+            + adjacency) as u64
+            + self.index.get().map_or(0, RoadIndex::heap_bytes)
+    }
+
     /// Adds an intersection at `pos` and returns its id.
     pub fn add_intersection(&mut self, pos: Point) -> NodeId {
         self.index.take();
@@ -417,6 +433,15 @@ struct RoadIndex {
 }
 
 impl RoadIndex {
+    /// Deep heap bytes of the bucket grids, by capacity.
+    fn heap_bytes(&self) -> u64 {
+        let buckets = |cells: &Vec<Vec<u32>>| -> usize {
+            cells.capacity() * std::mem::size_of::<Vec<u32>>()
+                + cells.iter().map(|c| c.capacity() * std::mem::size_of::<u32>()).sum::<usize>()
+        };
+        (buckets(&self.node_cells) + buckets(&self.road_cells)) as u64
+    }
+
     fn build(intersections: &[Intersection], roads: &[Road]) -> Self {
         let mut min = Point::new(0.0, 0.0);
         let mut max = Point::new(0.0, 0.0);

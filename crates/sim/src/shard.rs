@@ -47,8 +47,7 @@ impl ShardPlan {
         if items == 0 {
             return ShardPlan { ranges: Vec::new() };
         }
-        let by_size = items.div_ceil(MIN_ITEMS_PER_SHARD);
-        let n = shards.max(1).min(by_size.max(1)).min(items);
+        let n = ShardPlan::effective(items, shards);
         let base = items / n;
         let extra = items % n;
         let mut ranges = Vec::with_capacity(n);
@@ -59,6 +58,19 @@ impl ShardPlan {
             start += len;
         }
         ShardPlan { ranges }
+    }
+
+    /// The shard count [`ShardPlan::new`] would actually plan for this
+    /// input, computed without allocating. Hot per-tick loops check this
+    /// first and skip plan construction entirely when the work collapses to
+    /// one inline range — that is what keeps their steady state
+    /// allocation-free (asserted by the `memcheck` tests).
+    pub fn effective(items: usize, shards: usize) -> usize {
+        if items == 0 {
+            return 0;
+        }
+        let by_size = items.div_ceil(MIN_ITEMS_PER_SHARD);
+        shards.max(1).min(by_size.max(1)).min(items)
     }
 
     /// Number of planned shards.
@@ -88,10 +100,13 @@ where
     T: Send,
     F: Fn(Range<usize>) -> T + Sync,
 {
-    let plan = ShardPlan::new(items, shards);
-    if plan.len() <= 1 {
-        return plan.ranges().iter().map(|r| f(r.clone())).collect();
+    if items == 0 {
+        return Vec::new();
     }
+    if ShardPlan::effective(items, shards) <= 1 {
+        return vec![f(0..items)];
+    }
+    let plan = ShardPlan::new(items, shards);
     std::thread::scope(|scope| {
         let handles: Vec<_> = plan.ranges().iter().map(|r| scope.spawn(|| f(r.clone()))).collect();
         handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect()

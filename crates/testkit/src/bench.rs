@@ -23,9 +23,28 @@
 //! Unknown flags (e.g. the `--bench` cargo appends) are ignored.
 
 use crate::json::Json;
+use std::sync::OnceLock;
 use std::time::Instant;
 
 pub use std::hint::black_box;
+
+/// Optional allocation probe: returns the current thread's cumulative
+/// `(allocations, bytes allocated)`. Bench binaries that install a
+/// counting allocator register one (see `vc_obs::mem::register_bench_probe`)
+/// and every benchmark then reports allocs/iter and alloc bytes/iter in
+/// its `BENCH_*.json` entry. Without a probe those columns are simply
+/// absent and artifacts keep their prior shape.
+static ALLOC_PROBE: OnceLock<fn() -> (u64, u64)> = OnceLock::new();
+
+/// Registers the allocation probe. First registration wins; later calls
+/// are ignored so a suite and its harness cannot fight over it.
+pub fn set_alloc_probe(probe: fn() -> (u64, u64)) {
+    let _ = ALLOC_PROBE.set(probe);
+}
+
+fn alloc_probe() -> Option<(u64, u64)> {
+    ALLOC_PROBE.get().map(|f| f())
+}
 
 /// Target wall-clock per measured batch.
 const BATCH_TARGET_NS: u128 = 5_000_000;
@@ -55,6 +74,11 @@ pub struct BenchResult {
     pub bytes_per_iter: Option<u64>,
     /// Optional throughput denominator: elements processed per iteration.
     pub elems_per_iter: Option<u64>,
+    /// Mean heap allocations per iteration (present only when an
+    /// allocation probe is registered, see [`set_alloc_probe`]).
+    pub allocs_per_iter: Option<f64>,
+    /// Mean heap bytes allocated per iteration (same condition).
+    pub alloc_bytes_per_iter: Option<f64>,
 }
 
 impl BenchResult {
@@ -77,6 +101,12 @@ impl BenchResult {
         }
         if let Some(e) = self.elems_per_iter {
             pairs.push(("elems_per_iter".to_string(), Json::from(e)));
+        }
+        if let Some(a) = self.allocs_per_iter {
+            pairs.push(("allocs_per_iter".to_string(), Json::from(a)));
+        }
+        if let Some(b) = self.alloc_bytes_per_iter {
+            pairs.push(("alloc_bytes_per_iter".to_string(), Json::from(b)));
         }
         Json::Obj(pairs)
     }
@@ -147,9 +177,11 @@ impl Suite {
     ) -> &mut Suite {
         let result = if self.quick {
             // Smoke mode: prove the bench runs, once, and record that run.
+            let before = alloc_probe();
             let start = Instant::now();
             black_box(f());
             let ns = start.elapsed().as_nanos() as f64;
+            let (allocs_per_iter, alloc_bytes_per_iter) = alloc_delta(before, 1);
             BenchResult {
                 name: name.to_string(),
                 median_ns: ns,
@@ -160,6 +192,8 @@ impl Suite {
                 batches: 1,
                 bytes_per_iter: bytes,
                 elems_per_iter: elems,
+                allocs_per_iter,
+                alloc_bytes_per_iter,
             }
         } else {
             measure(name, &mut f, bytes, elems)
@@ -211,6 +245,7 @@ fn measure<T>(
     let iters_per_batch = (BATCH_TARGET_NS / per_iter_ns).clamp(1, 10_000_000) as u64;
 
     let mut samples: Vec<f64> = Vec::with_capacity(BATCHES);
+    let before = alloc_probe();
     for _ in 0..BATCHES {
         let start = Instant::now();
         for _ in 0..iters_per_batch {
@@ -218,6 +253,8 @@ fn measure<T>(
         }
         samples.push(start.elapsed().as_nanos() as f64 / iters_per_batch as f64);
     }
+    let (allocs_per_iter, alloc_bytes_per_iter) =
+        alloc_delta(before, BATCHES as u64 * iters_per_batch);
     samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
     let percentile = |q: f64| {
         let idx = ((samples.len() - 1) as f64 * q).round() as usize;
@@ -233,7 +270,19 @@ fn measure<T>(
         batches: samples.len() as u64,
         bytes_per_iter: bytes,
         elems_per_iter: elems,
+        allocs_per_iter,
+        alloc_bytes_per_iter,
     }
+}
+
+/// Converts a pre-measurement probe reading into mean per-iteration alloc
+/// columns (`None` when no probe is registered).
+fn alloc_delta(before: Option<(u64, u64)>, iters: u64) -> (Option<f64>, Option<f64>) {
+    let (Some((a0, b0)), Some((a1, b1))) = (before, alloc_probe()) else {
+        return (None, None);
+    };
+    let iters = iters.max(1) as f64;
+    (Some((a1 - a0) as f64 / iters), Some((b1 - b0) as f64 / iters))
 }
 
 fn format_ns(ns: f64) -> String {
@@ -287,9 +336,32 @@ mod tests {
             batches: 30,
             bytes_per_iter: Some(1024),
             elems_per_iter: None,
+            allocs_per_iter: None,
+            alloc_bytes_per_iter: None,
         };
         let j = r.to_json();
         assert_eq!(j["name"], "x");
         assert!(j["throughput_mib_s"].as_f64().unwrap() > 0.0);
+        assert!(j["allocs_per_iter"].as_f64().is_none(), "absent without a probe");
+    }
+
+    #[test]
+    fn result_json_carries_alloc_columns_when_probed() {
+        let r = BenchResult {
+            name: "x".into(),
+            median_ns: 1000.0,
+            p95_ns: 1200.0,
+            min_ns: 900.0,
+            mean_ns: 1010.0,
+            iters_per_batch: 10,
+            batches: 30,
+            bytes_per_iter: None,
+            elems_per_iter: None,
+            allocs_per_iter: Some(3.0),
+            alloc_bytes_per_iter: Some(96.5),
+        };
+        let j = r.to_json();
+        assert_eq!(j["allocs_per_iter"].as_f64(), Some(3.0));
+        assert_eq!(j["alloc_bytes_per_iter"].as_f64(), Some(96.5));
     }
 }
