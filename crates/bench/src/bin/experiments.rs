@@ -1,4 +1,4 @@
-//! The experiment table generator: prints E1..E18 (see DESIGN.md §4).
+//! The experiment table generator: prints E1..E19 (see DESIGN.md §4).
 
 use std::io::Write;
 use vc_bench::experiments::registry;
@@ -8,7 +8,50 @@ use vc_bench::experiments::registry;
 vc_obs::counting_allocator!();
 
 const USAGE: &str = "usage: experiments [--quick] [--seed N] [--json DIR] [--trace FILE] \
-     [--timeseries FILE] [--profile FILE] [--folded FILE] [--metrics] [--list] [e1..e18 ...]";
+     [--timeseries FILE] [--profile FILE] [--folded FILE] [--metrics] [--list] [e1..e19 ...]\n\
+       experiments --job SCENARIO [--seed N] [--ticks N] [--job-trace] [--job-out DIR]";
+
+/// Prints the experiment list (used on unknown names/flags so the error
+/// message always shows what *would* have worked).
+fn print_available(mut out: impl Write) {
+    let _ = writeln!(out, "available experiments:");
+    for exp in registry() {
+        let _ = writeln!(out, "  {:<4} {}", exp.id, exp.desc);
+    }
+}
+
+/// `--job` mode: run one service scenario job in-process via the same
+/// [`vc_service::job::run_job`] the `vcloudd` workers call, and write the
+/// exact result bytes out so CI can byte-compare them with a daemon
+/// RESULT stream.
+fn run_job_mode(scenario: &str, seed: u64, ticks: u32, trace: bool, out_dir: Option<&str>) -> ! {
+    let flags = if trace { vc_net::svc::FLAG_TRACE } else { 0 };
+    let spec = vc_service::job::JobSpec { scenario: scenario.into(), seed, ticks, flags };
+    let output = match vc_service::job::run_job(&spec, None) {
+        Ok(output) => output,
+        Err(e) => {
+            eprintln!("job failed: {e}");
+            eprintln!("available scenarios:");
+            for entry in vc_service::job::SCENARIOS {
+                eprintln!("  {:<18} {}", entry.id, entry.desc);
+            }
+            std::process::exit(2);
+        }
+    };
+    // Same line format as `vcload --once`, so logs can be diffed directly.
+    println!(
+        "job {scenario} seed={seed} ticks={ticks} flags={flags} checksum={:#018x} stats_len={} trace_len={}",
+        output.checksum,
+        output.stats.len(),
+        output.trace.len()
+    );
+    if let Some(dir) = out_dir {
+        std::fs::create_dir_all(dir).expect("create job output dir");
+        std::fs::write(format!("{dir}/stats.json"), &output.stats).expect("write stats");
+        std::fs::write(format!("{dir}/trace.jsonl"), &output.trace).expect("write trace");
+    }
+    std::process::exit(0);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -21,6 +64,10 @@ fn main() {
     let mut folded_path: Option<String> = None;
     let mut metrics = false;
     let mut list = false;
+    let mut job: Option<String> = None;
+    let mut job_ticks: u32 = 48;
+    let mut job_trace = false;
+    let mut job_out: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -28,10 +75,33 @@ fn main() {
             "--quick" => quick = true,
             "--metrics" => metrics = true,
             "--list" => list = true,
+            "--job" => {
+                i += 1;
+                job = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--job needs a scenario id");
+                    std::process::exit(2);
+                }));
+            }
+            "--ticks" => {
+                i += 1;
+                job_ticks = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--ticks needs a number");
+                    std::process::exit(2);
+                });
+            }
+            "--job-trace" => job_trace = true,
+            "--job-out" => {
+                i += 1;
+                job_out = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--job-out needs a directory");
+                    std::process::exit(2);
+                }));
+            }
             "--seed" => {
                 i += 1;
                 seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
-                    eprintln!("--seed needs a number");
+                    eprintln!("--seed needs a number\n{USAGE}");
+                    print_available(std::io::stderr());
                     std::process::exit(2);
                 });
             }
@@ -71,7 +141,8 @@ fn main() {
                 }));
             }
             flag if flag.starts_with("--") => {
-                eprintln!("unknown flag {flag}; {USAGE}");
+                eprintln!("unknown flag {flag}\n{USAGE}");
+                print_available(std::io::stderr());
                 std::process::exit(2);
             }
             id => wanted.push(id.to_lowercase()),
@@ -86,13 +157,28 @@ fn main() {
         return;
     }
 
+    if let Some(scenario) = job {
+        run_job_mode(&scenario, seed, job_ticks, job_trace, job_out.as_deref());
+    }
+
+    // Every requested name must exist: a typo mixed in with valid ids
+    // must fail the invocation, not silently run the subset that matched.
+    let known: Vec<&str> = registry().iter().map(|e| e.id).collect();
+    let unknown: Vec<&String> = wanted.iter().filter(|w| !known.contains(&w.as_str())).collect();
+    if !unknown.is_empty() {
+        eprintln!("unknown experiment(s) {unknown:?}");
+        print_available(std::io::stderr());
+        std::process::exit(2);
+    }
+
     let selected: Vec<_> = registry()
         .into_iter()
         .filter(|e| wanted.is_empty() || wanted.iter().any(|w| w == e.id))
         .collect();
 
     if selected.is_empty() {
-        eprintln!("no experiments matched {wanted:?}; known: e1..e18 (see --list)");
+        eprintln!("no experiments matched {wanted:?}");
+        print_available(std::io::stderr());
         std::process::exit(2);
     }
 
@@ -183,7 +269,9 @@ fn main() {
     // sensitive experiments (E4, E5, E9, E11 measure wall-clock per op; E18
     // reads the process-wide allocator peak) are run alone afterwards so
     // contention does not distort their numbers.
-    let timed = ["e4", "e5", "e9", "e11", "e18"];
+    // E19 additionally saturates the host with its own worker pool, so it
+    // must not share the machine with concurrent experiments.
+    let timed = ["e4", "e5", "e9", "e11", "e18", "e19"];
     let (concurrent, sequential): (Vec<_>, Vec<_>) =
         selected.into_iter().partition(|e| !timed.contains(&e.id));
 

@@ -409,12 +409,13 @@ fn print_histograms(hists: &BTreeMap<String, Histogram>) {
         "span kind", "count", "p50_us", "p90_us", "p99_us"
     );
     for (name, h) in hists {
+        let q = h.quantiles().unwrap_or_default();
         println!(
             "  {name:<name_width$}  {:>8}  {:>10.0}  {:>10.0}  {:>10.0}  |{}|",
             h.count(),
-            h.approx_percentile(0.50).unwrap_or(0.0),
-            h.approx_percentile(0.90).unwrap_or(0.0),
-            h.approx_percentile(0.99).unwrap_or(0.0),
+            q.p50,
+            q.p90,
+            q.p99,
             sparkline(h),
         );
     }

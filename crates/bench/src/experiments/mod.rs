@@ -1,4 +1,4 @@
-//! The per-experiment modules E1..E18 (see DESIGN.md §4 for the index).
+//! The per-experiment modules E1..E19 (see DESIGN.md §4 for the index).
 
 pub mod e1;
 pub mod e10;
@@ -10,6 +10,7 @@ pub mod e15;
 pub mod e16;
 pub mod e17;
 pub mod e18;
+pub mod e19;
 pub mod e2;
 pub mod e3;
 pub mod e4;
@@ -156,6 +157,12 @@ pub fn registry() -> Vec<Experiment> {
             flags: PROFILE_ONLY,
             run: e18::run,
         },
+        Experiment {
+            id: "e19",
+            desc: "scenario-service throughput under load (vcloudd + vcload)",
+            flags: PROFILE_ONLY,
+            run: e19::run,
+        },
     ]
 }
 
@@ -170,7 +177,7 @@ mod tests {
             ids,
             vec![
                 "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-                "e14", "e15", "e16", "e17", "e18"
+                "e14", "e15", "e16", "e17", "e18", "e19"
             ]
         );
         for exp in registry() {

@@ -1,0 +1,83 @@
+//! Regression tests for the `experiments` CLI surface: unknown names and
+//! malformed flags must fail loudly (with the available list), and the
+//! `--job` mode must reproduce the exact bytes `vcloudd` serves.
+
+use std::process::Command;
+
+fn experiments() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_experiments"))
+}
+
+#[test]
+fn unknown_experiment_name_lists_available_and_fails() {
+    let out = experiments().arg("e99").output().expect("experiments runs");
+    assert!(!out.status.success(), "unknown id must exit non-zero");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown experiment"), "stderr: {err}");
+    assert!(err.contains("available experiments:"), "stderr: {err}");
+    assert!(err.contains("e1 "), "the list itself must be printed: {err}");
+    assert!(err.contains("e19"), "the list must be complete: {err}");
+}
+
+#[test]
+fn unknown_id_mixed_with_known_ids_still_fails() {
+    // Regression: a typo next to a valid id used to silently run the
+    // valid subset and drop the typo.
+    let out = experiments().args(["--quick", "e7", "e99"]).output().expect("experiments runs");
+    assert!(!out.status.success(), "typo mixed with valid ids must exit non-zero");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("e99"), "the offending id must be named: {err}");
+    assert!(err.contains("available experiments:"), "stderr: {err}");
+    // And the valid experiment must NOT have run.
+    assert!(
+        String::from_utf8_lossy(&out.stdout).trim().is_empty(),
+        "nothing may run when the invocation is invalid"
+    );
+}
+
+#[test]
+fn malformed_flags_list_available_and_fail() {
+    for args in [vec!["--frobnicate"], vec!["--seed", "not-a-number"], vec!["--seed"]] {
+        let out = experiments().args(&args).output().expect("experiments runs");
+        assert!(!out.status.success(), "{args:?} must exit non-zero");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("available experiments:"), "{args:?} stderr: {err}");
+    }
+}
+
+#[test]
+fn job_mode_writes_the_exact_service_bytes() {
+    let dir = std::env::temp_dir().join(format!("vc_job_cli_{}", std::process::id()));
+    let out = experiments()
+        .args(["--job", "urban-greedy", "--seed", "77", "--ticks", "32", "--job-trace"])
+        .args(["--job-out", dir.to_str().unwrap()])
+        .output()
+        .expect("experiments runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("job urban-greedy seed=77 ticks=32"), "stdout: {stdout}");
+
+    let stats = std::fs::read(dir.join("stats.json")).expect("stats written");
+    let trace = std::fs::read(dir.join("trace.jsonl")).expect("trace written");
+    let spec = vc_service::job::JobSpec {
+        scenario: "urban-greedy".into(),
+        seed: 77,
+        ticks: 32,
+        flags: vc_net::svc::FLAG_TRACE,
+    };
+    let reference = vc_service::job::run_job(&spec, None).expect("reference run");
+    assert_eq!(stats, reference.stats, "--job stats must be the service's exact bytes");
+    assert_eq!(trace, reference.trace, "--job trace must be the service's exact bytes");
+    let expected = format!("checksum={:#018x}", reference.checksum);
+    assert!(stdout.contains(&expected), "stdout must carry the checksum: {stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn job_mode_rejects_unknown_scenarios_with_the_catalog() {
+    let out = experiments().args(["--job", "no-such-scenario"]).output().expect("experiments runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("available scenarios:"), "stderr: {err}");
+    assert!(err.contains("urban-epidemic"), "stderr: {err}");
+}

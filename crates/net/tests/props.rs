@@ -351,3 +351,183 @@ prop! {
         prop_assert_eq!(sequential, sharded);
     }
 }
+
+// ---------------------------------------------------------------------------
+// `vc_net::svc` wire-frame properties: the daemon's length-prefixed protocol
+// must round-trip arbitrary frames, survive arbitrarily fragmented reads,
+// and reject truncated or oversized input with errors, never panics.
+
+/// A reader that hands out the underlying bytes in pseudo-random small
+/// pieces (1..=7 bytes), exercising every short-read path in `read_frame`.
+struct SplitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    rng: SimRng,
+}
+
+impl std::io::Read for SplitReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos >= self.bytes.len() {
+            return Ok(0);
+        }
+        let chunk =
+            (self.rng.range_u64(1, 7) as usize).min(buf.len()).min(self.bytes.len() - self.pos);
+        buf[..chunk].copy_from_slice(&self.bytes[self.pos..self.pos + chunk]);
+        self.pos += chunk;
+        Ok(chunk)
+    }
+}
+
+fn gen_svc_string(rng: &mut SimRng, max_len: u64) -> String {
+    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789-._ {}\"";
+    let len = rng.range_u64(0, max_len) as usize;
+    (0..len).map(|_| ALPHABET[rng.index(ALPHABET.len())] as char).collect()
+}
+
+fn gen_svc_times(rng: &mut SimRng) -> svc::JobTimes {
+    svc::JobTimes {
+        accepted_ns: rng.next_u64(),
+        started_ns: rng.next_u64(),
+        finished_ns: rng.next_u64(),
+    }
+}
+
+/// One arbitrary frame of any kind, with arbitrary field contents and
+/// payload lengths (chunk data up to 2 KiB).
+fn gen_svc_frame(rng: &mut SimRng) -> svc::Frame {
+    use svc::Frame;
+    match rng.range_u64(0, 14) {
+        0 => Frame::Submit {
+            scenario: gen_svc_string(rng, 64),
+            seed: rng.next_u64(),
+            ticks: rng.next_u64() as u32,
+            flags: rng.next_u64() as u32,
+        },
+        1 => Frame::Status { job: rng.next_u64() },
+        2 => Frame::Result { job: rng.next_u64() },
+        3 => Frame::Cancel { job: rng.next_u64() },
+        4 => Frame::Metrics,
+        5 => Frame::Shutdown,
+        6 => Frame::Accepted { job: rng.next_u64() },
+        7 => Frame::Rejected {
+            reason: [
+                svc::RejectReason::QueueFull,
+                svc::RejectReason::Draining,
+                svc::RejectReason::UnknownScenario,
+                svc::RejectReason::BudgetExceeded,
+                svc::RejectReason::BadRequest,
+            ][rng.index(5)],
+            detail: gen_svc_string(rng, 128),
+        },
+        8 => Frame::JobStatus {
+            job: rng.next_u64(),
+            phase: svc::JobPhase::from_u8(rng.range_u64(0, 4) as u8).unwrap(),
+            queue_depth: rng.next_u64() as u32,
+            times: gen_svc_times(rng),
+        },
+        9 => Frame::ResultHeader {
+            job: rng.next_u64(),
+            phase: svc::JobPhase::from_u8(rng.range_u64(0, 4) as u8).unwrap(),
+            checksum: rng.next_u64(),
+            stats_len: rng.next_u64(),
+            trace_len: rng.next_u64(),
+            times: gen_svc_times(rng),
+        },
+        10 => {
+            let len = rng.range_u64(0, 2048) as usize;
+            Frame::Chunk {
+                job: rng.next_u64(),
+                channel: if rng.chance(0.5) { svc::Channel::Stats } else { svc::Channel::Trace },
+                data: (0..len).map(|_| rng.next_u64() as u8).collect(),
+            }
+        }
+        11 => Frame::ResultEnd { job: rng.next_u64() },
+        12 => Frame::MetricsReply { json: gen_svc_string(rng, 256) },
+        13 => Frame::Okay,
+        _ => Frame::Error { detail: gen_svc_string(rng, 128) },
+    }
+}
+
+fn svc_frame_strategy() -> FromFn<impl Fn(&mut SimRng) -> vc_net::svc::Frame> {
+    from_fn(gen_svc_frame)
+}
+
+/// A short pseudo-random sequence of frames (1..=8).
+fn svc_burst_strategy() -> FromFn<impl Fn(&mut SimRng) -> Vec<vc_net::svc::Frame>> {
+    from_fn(|rng| {
+        let n = rng.range_u64(1, 8) as usize;
+        (0..n).map(|_| gen_svc_frame(rng)).collect()
+    })
+}
+
+use vc_net::svc;
+
+prop! {
+    #![cases(96)]
+
+    // Every frame kind round-trips through encode/decode bit-exactly.
+    #[test]
+    fn svc_frames_roundtrip(frame in svc_frame_strategy()) {
+        let payload = frame.encode();
+        prop_assert!(payload.len() <= svc::MAX_FRAME_LEN);
+        prop_assert_eq!(svc::Frame::decode(&payload), Ok(frame));
+    }
+
+    // A burst of frames written to one stream is recovered intact even when
+    // the transport delivers the bytes in tiny fragments that split length
+    // prefixes and payloads at arbitrary boundaries.
+    #[test]
+    fn svc_streams_survive_split_reads(frames in svc_burst_strategy(), split_seed in any_u64()) {
+        let mut wire = Vec::new();
+        for frame in &frames {
+            svc::write_frame(&mut wire, frame).unwrap();
+        }
+        let mut reader =
+            SplitReader { bytes: &wire, pos: 0, rng: SimRng::seed_from(split_seed) };
+        let mut decoded = Vec::new();
+        while let Some(frame) = svc::read_decode(&mut reader).unwrap() {
+            decoded.push(frame);
+        }
+        prop_assert_eq!(decoded, frames);
+    }
+
+    // Any strict prefix of a frame payload decodes to an error — never a
+    // panic, and never a silently-successful partial parse.
+    #[test]
+    fn svc_truncated_frames_error_not_panic(frame in svc_frame_strategy(), cut_pick in any_u64()) {
+        let payload = frame.encode();
+        let cut = (cut_pick % payload.len() as u64) as usize;
+        prop_assert!(svc::Frame::decode(&payload[..cut]).is_err());
+        // And at the stream level: a frame whose payload stops early is an
+        // UnexpectedEof, not a hang or a panic.
+        let mut wire = Vec::new();
+        svc::write_frame(&mut wire, &frame).unwrap();
+        let short = &wire[..4 + cut];
+        let err = svc::read_decode(&mut std::io::Cursor::new(short)).unwrap_err();
+        prop_assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+
+    // Oversized declared lengths are rejected before any allocation: at the
+    // stream level (length prefix beyond MAX_FRAME_LEN) and at the field
+    // level (string/bytes length beyond the cap or the remaining payload).
+    #[test]
+    fn svc_oversized_lengths_are_rejected(
+        excess in any_u32(),
+        tail in any_u16(),
+        job in any_u64(),
+    ) {
+        let declared = svc::MAX_FRAME_LEN as u64 + 1 + excess as u64 % (u32::MAX as u64 >> 1);
+        let mut wire = (declared as u32).to_be_bytes().to_vec();
+        wire.extend_from_slice(&tail.to_be_bytes());
+        let err = svc::read_frame(&mut std::io::Cursor::new(wire)).unwrap_err();
+        prop_assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+
+        // Field level: an ERROR frame whose detail claims more bytes than
+        // the payload holds must fail with a length error.
+        let mut w = vc_net::bytebuf::ByteWriter::with_capacity(16);
+        w.put_u8(0x89); // K_ERROR
+        w.put_u32(1 + (excess % 1024) + tail as u32);
+        w.put_u64(job); // 8 bytes of "detail", fewer than declared
+        prop_assert!(svc::Frame::decode(&w.into_vec()).is_err());
+    }
+}

@@ -65,7 +65,9 @@ pub mod record;
 
 pub use causal::{SampleRate, Sampler, TraceId};
 pub use mem::{AllocDelta, AllocScope, CountingAlloc, MemSize};
-pub use metrics::{Histogram, MetricsHub, Snapshot, SnapshotDiff, TickSample, TimeSeries};
+pub use metrics::{
+    Histogram, MetricsHub, Quantiles, Snapshot, SnapshotDiff, TickSample, TimeSeries,
+};
 pub use record::{Event, EventBuf, Recorder, SpanId, SpanPhase};
 pub use vc_sim::probe::{Probe, Value};
 

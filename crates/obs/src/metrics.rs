@@ -116,6 +116,20 @@ impl Histogram {
         Some(self.max)
     }
 
+    /// The standard p50/p90/p99 latency summary of this histogram, `None`
+    /// when empty.
+    ///
+    /// One call instead of three [`Histogram::approx_percentile`]s:
+    /// `vcstat --histograms`, `vcload`, and the E19 service experiment all
+    /// report the same three percentiles, so the extraction lives here.
+    pub fn quantiles(&self) -> Option<Quantiles> {
+        Some(Quantiles {
+            p50: self.approx_percentile(0.50)?,
+            p90: self.approx_percentile(0.90)?,
+            p99: self.approx_percentile(0.99)?,
+        })
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
@@ -139,6 +153,32 @@ impl Histogram {
 impl Default for Histogram {
     fn default() -> Histogram {
         Histogram::new()
+    }
+}
+
+/// A p50/p90/p99 summary extracted from a [`Histogram`] with
+/// [`Histogram::quantiles`]. Values inherit the histogram's bucket
+/// resolution (exact to the power-of-two bucket, clamped to the observed
+/// maximum).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Quantiles {
+    /// Median (50th percentile).
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl Quantiles {
+    /// Renders as an insertion-ordered `{"p50":…,"p90":…,"p99":…}` object
+    /// (the schema `vcload` and `vcstat --json` artifacts share).
+    pub fn to_json(self) -> Json {
+        Json::object([
+            ("p50", Json::from(self.p50)),
+            ("p90", Json::from(self.p90)),
+            ("p99", Json::from(self.p99)),
+        ])
     }
 }
 
@@ -519,6 +559,24 @@ mod tests {
         // NaN samples are ignored.
         h.record(f64::NAN);
         assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn quantiles_match_the_ad_hoc_percentile_calls() {
+        assert_eq!(Histogram::new().quantiles(), None);
+        let mut h = Histogram::new();
+        for x in [1.0, 3.0, 9.0, 40.0, 800.0, 800.0, 1500.0] {
+            h.record(x);
+        }
+        let q = h.quantiles().unwrap();
+        assert_eq!(q.p50, h.approx_percentile(0.50).unwrap());
+        assert_eq!(q.p90, h.approx_percentile(0.90).unwrap());
+        assert_eq!(q.p99, h.approx_percentile(0.99).unwrap());
+        assert!(q.p50 <= q.p90 && q.p90 <= q.p99);
+        assert_eq!(
+            q.to_json().to_string_compact(),
+            format!(r#"{{"p50":{},"p90":{},"p99":{}}}"#, q.p50, q.p90, q.p99)
+        );
     }
 
     #[test]

@@ -1,0 +1,92 @@
+//! `vcloudd` — the scenario-service daemon.
+//!
+//! Binds a loopback TCP socket, announces the bound address on stdout
+//! (so scripts using port 0 can discover it), and serves [`vc_net::svc`]
+//! frames until a client sends SHUTDOWN. Exit code 0 means every
+//! admitted job reached a terminal state before exit.
+
+use std::process::ExitCode;
+
+use vc_service::server::{bind_and_announce, ServerConfig};
+
+const USAGE: &str = "\
+vcloudd — vcloud scenario-service daemon
+
+USAGE:
+    vcloudd [--addr HOST:PORT] [--workers N] [--queue N]
+
+OPTIONS:
+    --addr HOST:PORT   listen address (default 127.0.0.1:0 = ephemeral loopback)
+    --workers N        worker threads executing jobs (default 4)
+    --queue N          queued-job capacity before SUBMITs are rejected (default 64)
+    --help             print this help
+
+The daemon prints one line on startup:
+    vcloudd listening on <addr> workers=<n> queue=<n>
+and runs until a client sends a SHUTDOWN frame; it then drains (finishes
+every admitted job), acknowledges, and exits.
+";
+
+fn parse_args() -> Result<ServerConfig, String> {
+    let mut config = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} requires a value"));
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr")?,
+            "--workers" => {
+                config.pool.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers expects a positive integer".to_string())?;
+            }
+            "--queue" => {
+                config.pool.queue_cap = value("--queue")?
+                    .parse()
+                    .map_err(|_| "--queue expects a positive integer".to_string())?;
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if config.pool.workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
+    Ok(config)
+}
+
+fn main() -> ExitCode {
+    let config = match parse_args() {
+        Ok(config) => config,
+        Err(why) => {
+            eprintln!("vcloudd: {why}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let (server, addr) = match bind_and_announce(&config) {
+        Ok(bound) => bound,
+        Err(e) => {
+            eprintln!("vcloudd: cannot bind {}: {e}", config.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "vcloudd listening on {addr} workers={} queue={}",
+        config.pool.workers.max(1),
+        config.pool.queue_cap.max(1)
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    match server.run() {
+        Ok(served) => {
+            println!("vcloudd drained after {served} connections");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("vcloudd: accept loop failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

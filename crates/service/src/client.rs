@@ -1,0 +1,166 @@
+//! A blocking client for the `vcloudd` wire protocol.
+//!
+//! One [`Client`] wraps one TCP connection; requests and responses are
+//! strictly ordered on it, so a client is single-threaded by design —
+//! `vcload` opens one per client thread.
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use vc_net::svc::{read_decode, write_frame, Channel, Frame, JobPhase, JobTimes, RejectReason};
+
+use crate::job::JobSpec;
+
+/// A fetched RESULT: terminal phase, payload, and server timestamps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobResult {
+    /// Job id.
+    pub job: u64,
+    /// Terminal phase.
+    pub phase: JobPhase,
+    /// FNV-1a checksum the server computed over stats then trace.
+    pub checksum: u64,
+    /// Stats JSON bytes.
+    pub stats: Vec<u8>,
+    /// Trace JSONL bytes (empty unless the job requested tracing).
+    pub trace: Vec<u8>,
+    /// Failure detail (non-empty only for failed jobs).
+    pub detail: String,
+    /// Server-relative lifecycle timestamps.
+    pub times: JobTimes,
+}
+
+/// One connection to a `vcloudd`.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+fn bad_reply(what: &'static str, got: &Frame) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("expected {what}, got {got:?}"))
+}
+
+impl Client {
+    /// Connects to a daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { reader: BufReader::new(stream.try_clone()?), writer: BufWriter::new(stream) })
+    }
+
+    fn send(&mut self, frame: &Frame) -> io::Result<()> {
+        write_frame(&mut self.writer, frame)?;
+        self.writer.flush()
+    }
+
+    fn recv(&mut self) -> io::Result<Frame> {
+        read_decode(&mut self.reader)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+        })
+    }
+
+    /// Submits a job; `Ok(job_id)` on admission, `Err` with the server's
+    /// rejection on backpressure/validation failure.
+    #[allow(clippy::result_large_err)]
+    pub fn submit(&mut self, spec: &JobSpec) -> io::Result<Result<u64, (RejectReason, String)>> {
+        self.send(&Frame::Submit {
+            scenario: spec.scenario.clone(),
+            seed: spec.seed,
+            ticks: spec.ticks,
+            flags: spec.flags,
+        })?;
+        match self.recv()? {
+            Frame::Accepted { job } => Ok(Ok(job)),
+            Frame::Rejected { reason, detail } => Ok(Err((reason, detail))),
+            other => Err(bad_reply("Accepted/Rejected", &other)),
+        }
+    }
+
+    /// Queries a job's lifecycle state.
+    pub fn status(&mut self, job: u64) -> io::Result<(JobPhase, u32, JobTimes)> {
+        self.send(&Frame::Status { job })?;
+        match self.recv()? {
+            Frame::JobStatus { phase, queue_depth, times, .. } => Ok((phase, queue_depth, times)),
+            Frame::Error { detail } => Err(io::Error::new(io::ErrorKind::NotFound, detail)),
+            other => Err(bad_reply("JobStatus", &other)),
+        }
+    }
+
+    /// Blocks until the job is terminal and streams its result back,
+    /// reassembling the chunked stats/trace channels and verifying the
+    /// declared lengths and checksum.
+    pub fn fetch_result(&mut self, job: u64) -> io::Result<JobResult> {
+        self.send(&Frame::Result { job })?;
+        let (phase, checksum, stats_len, trace_len, times) = match self.recv()? {
+            Frame::ResultHeader { job: j, phase, checksum, stats_len, trace_len, times }
+                if j == job =>
+            {
+                (phase, checksum, stats_len, trace_len, times)
+            }
+            Frame::Error { detail } => return Err(io::Error::new(io::ErrorKind::NotFound, detail)),
+            other => return Err(bad_reply("ResultHeader", &other)),
+        };
+        let mut stats = Vec::new();
+        let mut trace = Vec::new();
+        let mut detail = String::new();
+        loop {
+            match self.recv()? {
+                Frame::Chunk { channel, data, .. } => match channel {
+                    Channel::Stats => stats.extend_from_slice(&data),
+                    Channel::Trace => trace.extend_from_slice(&data),
+                },
+                // Failure detail rides inside the stream for failed jobs.
+                Frame::Error { detail: d } => detail = d,
+                Frame::ResultEnd { job: j } if j == job => break,
+                other => return Err(bad_reply("Chunk/ResultEnd", &other)),
+            }
+        }
+        if stats.len() as u64 != stats_len || trace.len() as u64 != trace_len {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "result length mismatch: stats {}/{stats_len}, trace {}/{trace_len}",
+                    stats.len(),
+                    trace.len()
+                ),
+            ));
+        }
+        let computed = vc_net::svc::fnv1a64(&[&stats, &trace]);
+        if computed != checksum {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("result checksum mismatch: {computed:#x} != {checksum:#x}"),
+            ));
+        }
+        Ok(JobResult { job, phase, checksum, stats, trace, detail, times })
+    }
+
+    /// Requests cancellation of a job.
+    pub fn cancel(&mut self, job: u64) -> io::Result<()> {
+        self.send(&Frame::Cancel { job })?;
+        match self.recv()? {
+            Frame::Okay => Ok(()),
+            Frame::Error { detail } => Err(io::Error::new(io::ErrorKind::NotFound, detail)),
+            other => Err(bad_reply("Okay", &other)),
+        }
+    }
+
+    /// Fetches the daemon's `svc.*` metrics registry as JSON.
+    pub fn metrics(&mut self) -> io::Result<String> {
+        self.send(&Frame::Metrics)?;
+        match self.recv()? {
+            Frame::MetricsReply { json } => Ok(json),
+            other => Err(bad_reply("MetricsReply", &other)),
+        }
+    }
+
+    /// Asks the daemon to drain and shut down; returns once the server
+    /// acknowledged (i.e. every admitted job reached a terminal state).
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        self.send(&Frame::Shutdown)?;
+        match self.recv()? {
+            Frame::Okay => Ok(()),
+            other => Err(bad_reply("Okay", &other)),
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! The service determinism contract, enforced against the real `vcloudd`
+//! binary: N identical jobs submitted concurrently from separate client
+//! threads return byte-identical RESULT payloads — identical to each
+//! other, to the in-process [`run_job`] reference, and across daemon
+//! shard counts (`VC_SHARDS=1` vs `VC_SHARDS=8`).
+//!
+//! `VC_SHARDS` is read once per process, so each shard count needs its
+//! own daemon subprocess; the in-process reference runs in this test
+//! process with whatever sharding the harness has.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::thread;
+
+use vc_net::svc::{JobPhase, FLAG_TRACE};
+use vc_service::client::Client;
+use vc_service::job::{run_job, JobSpec};
+
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+/// Spawns `vcloudd` with the given env, parses the announced address.
+fn spawn_daemon(workers: usize, envs: &[(&str, &str)]) -> Daemon {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_vcloudd"));
+    cmd.args(["--addr", "127.0.0.1:0", "--workers", &workers.to_string()])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit());
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let mut child = cmd.spawn().expect("spawn vcloudd");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let banner = lines.next().expect("vcloudd announces its address").unwrap();
+    let addr = banner
+        .strip_prefix("vcloudd listening on ")
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("unexpected banner: {banner}"))
+        .to_string();
+    // Keep draining stdout so the daemon never blocks on a full pipe.
+    thread::spawn(move || for _ in lines.map_while(Result::ok) {});
+    Daemon { child, addr }
+}
+
+impl Daemon {
+    fn stop(mut self) {
+        let mut client = Client::connect(&self.addr).expect("connect for shutdown");
+        client.shutdown().expect("graceful drain");
+        let status = self.child.wait().expect("wait vcloudd");
+        assert!(status.success(), "vcloudd must exit 0 after drain, got {status:?}");
+    }
+}
+
+/// Submits `n` copies of `spec` concurrently, one client thread each,
+/// and returns the (stats, trace, checksum) triples.
+fn submit_burst(addr: &str, spec: &JobSpec, n: usize) -> Vec<(Vec<u8>, Vec<u8>, u64)> {
+    let handles: Vec<_> = (0..n)
+        .map(|_| {
+            let (addr, spec) = (addr.to_string(), spec.clone());
+            thread::spawn(move || {
+                let mut client = Client::connect(&addr).unwrap();
+                let job = client.submit(&spec).unwrap().expect("admitted");
+                let r = client.fetch_result(job).unwrap();
+                assert_eq!(r.phase, JobPhase::Done);
+                (r.stats, r.trace, r.checksum)
+            })
+        })
+        .collect();
+    handles.into_iter().map(|h| h.join().unwrap()).collect()
+}
+
+#[test]
+fn concurrent_results_are_byte_identical_across_shard_counts() {
+    let spec =
+        JobSpec { scenario: "urban-epidemic".into(), seed: 1234, ticks: 48, flags: FLAG_TRACE };
+    let reference = run_job(&spec, None).unwrap();
+    assert!(!reference.trace.is_empty());
+
+    for shards in ["1", "8"] {
+        let daemon = spawn_daemon(4, &[("VC_SHARDS", shards)]);
+        let results = submit_burst(&daemon.addr, &spec, 8);
+        assert_eq!(results.len(), 8);
+        for (stats, trace, checksum) in &results {
+            assert_eq!(
+                stats, &reference.stats,
+                "VC_SHARDS={shards}: daemon stats differ from in-process run"
+            );
+            assert_eq!(
+                trace, &reference.trace,
+                "VC_SHARDS={shards}: daemon trace differs from in-process run"
+            );
+            assert_eq!(*checksum, reference.checksum);
+        }
+        daemon.stop();
+    }
+}
+
+#[test]
+fn interleaved_mixed_jobs_stay_independent_under_contention() {
+    // Two different job identities interleaved across 8 submitting
+    // threads on a 2-worker daemon: every result must match its own
+    // reference, proving neither concurrency nor submission order leaks
+    // into the payload.
+    let spec_a = JobSpec { scenario: "highway-mozo".into(), seed: 9, ticks: 40, flags: FLAG_TRACE };
+    let spec_b = JobSpec { scenario: "urban-greedy".into(), seed: 10, ticks: 56, flags: 0 };
+    let ref_a = run_job(&spec_a, None).unwrap();
+    let ref_b = run_job(&spec_b, None).unwrap();
+
+    let daemon = spawn_daemon(2, &[]);
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            let addr = daemon.addr.clone();
+            let spec = if i % 2 == 0 { spec_a.clone() } else { spec_b.clone() };
+            thread::spawn(move || {
+                let mut client = Client::connect(&addr).unwrap();
+                let job = client.submit(&spec).unwrap().expect("admitted");
+                (i, client.fetch_result(job).unwrap())
+            })
+        })
+        .collect();
+    for h in handles {
+        let (i, r) = h.join().unwrap();
+        let reference = if i % 2 == 0 { &ref_a } else { &ref_b };
+        assert_eq!(r.stats, reference.stats, "submitter {i}");
+        assert_eq!(r.trace, reference.trace, "submitter {i}");
+        assert_eq!(r.checksum, reference.checksum, "submitter {i}");
+    }
+    daemon.stop();
+}

@@ -1,0 +1,247 @@
+//! End-to-end tests over real loopback sockets: wire round-trips, the
+//! determinism contract under concurrent load, backpressure, and drain.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::AtomicBool;
+use std::thread;
+
+use vc_net::svc::JobPhase;
+use vc_net::svc::{read_decode, FLAG_TRACE};
+use vc_service::client::Client;
+use vc_service::job::{run_job, JobSpec};
+use vc_service::loadgen::{run_load, LoadConfig, Mode};
+use vc_service::server::{Server, ServerConfig};
+use vc_service::supervisor::SupervisorConfig;
+
+/// Starts a daemon on an ephemeral loopback port; returns its address
+/// and the thread running the accept loop.
+fn start_server(workers: usize, queue_cap: usize) -> (String, thread::JoinHandle<()>) {
+    let config =
+        ServerConfig { addr: "127.0.0.1:0".into(), pool: SupervisorConfig { workers, queue_cap } };
+    let server = Server::bind(&config).expect("bind ephemeral loopback");
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = thread::spawn(move || {
+        server.run().expect("server run");
+    });
+    (addr, handle)
+}
+
+fn spec(scenario: &str, seed: u64, ticks: u32, flags: u32) -> JobSpec {
+    JobSpec { scenario: scenario.into(), seed, ticks, flags }
+}
+
+#[test]
+fn daemon_result_is_byte_identical_to_in_process_run() {
+    let (addr, server) = start_server(2, 16);
+    let s = spec("urban-cluster", 42, 64, FLAG_TRACE);
+    let reference = run_job(&s, None).unwrap();
+
+    let mut client = Client::connect(&addr).unwrap();
+    let job = client.submit(&s).unwrap().expect("admitted");
+    let result = client.fetch_result(job).unwrap();
+    assert_eq!(result.phase, JobPhase::Done);
+    assert_eq!(result.stats, reference.stats, "stats bytes must match in-process run");
+    assert_eq!(result.trace, reference.trace, "trace bytes must match in-process run");
+    assert_eq!(result.checksum, reference.checksum);
+    assert!(!result.trace.is_empty(), "FLAG_TRACE must produce trace bytes");
+
+    client.shutdown().unwrap();
+    server.join().unwrap();
+}
+
+#[test]
+fn concurrent_identical_jobs_all_return_identical_bytes() {
+    // The tentpole's multi-tenancy claim: N copies of the same job racing
+    // across the worker pool and different connections produce N
+    // byte-identical results.
+    let (addr, server) = start_server(4, 32);
+    let s = spec("urban-epidemic", 7, 48, FLAG_TRACE);
+    let reference = run_job(&s, None).unwrap();
+
+    let results: Vec<_> = (0..8)
+        .map(|_| {
+            let (addr, s) = (addr.clone(), s.clone());
+            thread::spawn(move || {
+                let mut client = Client::connect(&addr).unwrap();
+                let job = client.submit(&s).unwrap().expect("admitted");
+                client.fetch_result(job).unwrap()
+            })
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|h| h.join().unwrap())
+        .collect();
+
+    assert_eq!(results.len(), 8);
+    for r in &results {
+        assert_eq!(r.phase, JobPhase::Done);
+        assert_eq!(r.stats, reference.stats);
+        assert_eq!(r.trace, reference.trace);
+        assert_eq!(r.checksum, reference.checksum);
+    }
+
+    Client::connect(&addr).unwrap().shutdown().unwrap();
+    server.join().unwrap();
+}
+
+#[test]
+fn mixed_concurrent_load_does_not_leak_observability_between_jobs() {
+    // Run different (scenario, seed) jobs concurrently with tracing on;
+    // every result must still match its own isolated in-process run —
+    // i.e. no tenant's Recorder sees another tenant's events.
+    let (addr, server) = start_server(4, 32);
+    let specs: Vec<JobSpec> = vec![
+        spec("urban-epidemic", 1, 48, FLAG_TRACE),
+        spec("urban-greedy", 2, 48, FLAG_TRACE),
+        spec("highway-mozo", 3, 48, FLAG_TRACE),
+        spec("canyon-greedy", 4, 48, FLAG_TRACE),
+        spec("urban-epidemic", 5, 48, 0),
+        spec("highway-epidemic", 6, 48, FLAG_TRACE),
+    ];
+    let handles: Vec<_> = specs
+        .iter()
+        .cloned()
+        .map(|s| {
+            let addr = addr.clone();
+            thread::spawn(move || {
+                let mut client = Client::connect(&addr).unwrap();
+                let job = client.submit(&s).unwrap().expect("admitted");
+                (s, client.fetch_result(job).unwrap())
+            })
+        })
+        .collect();
+    for h in handles {
+        let (s, result) = h.join().unwrap();
+        let reference = run_job(&s, None).unwrap();
+        assert_eq!(result.stats, reference.stats, "{}/{}", s.scenario, s.seed);
+        assert_eq!(result.trace, reference.trace, "{}/{}", s.scenario, s.seed);
+        assert_eq!(result.checksum, reference.checksum);
+    }
+    Client::connect(&addr).unwrap().shutdown().unwrap();
+    server.join().unwrap();
+}
+
+#[test]
+fn status_cancel_and_metrics_over_the_wire() {
+    let (addr, server) = start_server(1, 16);
+    let mut client = Client::connect(&addr).unwrap();
+
+    // Occupy the single worker, then watch a queued job behind it.
+    let long = client.submit(&spec("urban-epidemic", 1, 2_000, 0)).unwrap().unwrap();
+    let queued = client.submit(&spec("urban-greedy", 2, 2_000, 0)).unwrap().unwrap();
+    let (_, depth, times) = client.status(queued).unwrap();
+    assert!(depth <= 1, "at most the long job is ahead");
+    assert!(times.accepted_ns > 0);
+
+    client.cancel(queued).unwrap();
+    let result = client.fetch_result(queued).unwrap();
+    assert_eq!(result.phase, JobPhase::Cancelled);
+    assert!(result.stats.is_empty());
+
+    client.cancel(long).unwrap();
+    let result = client.fetch_result(long).unwrap();
+    assert_eq!(result.phase, JobPhase::Cancelled);
+
+    let metrics = client.metrics().unwrap();
+    assert!(metrics.contains("svc.submit"), "metrics JSON: {metrics}");
+    assert!(metrics.contains("svc.cancel"), "metrics JSON: {metrics}");
+
+    assert!(client.status(999).is_err(), "unknown job must error");
+    assert!(client.cancel(999).is_err(), "unknown job must error");
+
+    client.shutdown().unwrap();
+    server.join().unwrap();
+}
+
+#[test]
+fn backpressure_rejections_reach_the_client() {
+    let (addr, server) = start_server(1, 1);
+    let mut client = Client::connect(&addr).unwrap();
+    let mut accepted = Vec::new();
+    let mut rejected = 0;
+    for i in 0..16 {
+        match client.submit(&spec("urban-epidemic", i, 400, 0)).unwrap() {
+            Ok(id) => accepted.push(id),
+            Err((reason, _)) => {
+                assert_eq!(reason, vc_net::svc::RejectReason::QueueFull);
+                rejected += 1;
+            }
+        }
+    }
+    assert!(rejected > 0, "a 1-slot queue must reject under a 16-job burst");
+    for id in accepted {
+        assert_eq!(client.fetch_result(id).unwrap().phase, JobPhase::Done);
+    }
+    client.shutdown().unwrap();
+    server.join().unwrap();
+}
+
+#[test]
+fn malformed_bytes_get_an_error_frame_not_a_crash() {
+    let (addr, server) = start_server(1, 4);
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    // A declared length beyond MAX_FRAME_LEN must be answered and the
+    // connection closed without taking the daemon down.
+    stream.write_all(&(u32::MAX).to_be_bytes()).unwrap();
+    stream.flush().unwrap();
+    let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+    match read_decode(&mut reader) {
+        Ok(Some(vc_net::svc::Frame::Error { detail })) => {
+            assert!(detail.contains("protocol error"), "detail: {detail}");
+        }
+        other => panic!("expected an Error frame, got {other:?}"),
+    }
+    // The daemon is still alive and serving.
+    let mut client = Client::connect(&addr).unwrap();
+    let job = client.submit(&spec("urban-epidemic", 1, 16, 0)).unwrap().unwrap();
+    assert_eq!(client.fetch_result(job).unwrap().phase, JobPhase::Done);
+    client.shutdown().unwrap();
+    server.join().unwrap();
+}
+
+#[test]
+fn loadgen_closed_and_open_loops_report_sane_numbers() {
+    let (addr, server) = start_server(4, 64);
+    let closed = LoadConfig {
+        addr: addr.clone(),
+        clients: 3,
+        jobs_per_client: 4,
+        mix: vec!["urban-epidemic".into(), "canyon-greedy".into()],
+        ticks: 32,
+        flags: 0,
+        seed: 5,
+        mode: Mode::Closed,
+    };
+    let report = run_load(&closed).unwrap();
+    assert_eq!(report.submitted, 12);
+    assert_eq!(report.completed, 12);
+    assert_eq!(report.rejected, 0);
+    assert!(report.jobs_per_sec > 0.0);
+    assert!(report.e2e_us.p99 >= report.e2e_us.p50);
+    // The JSON schema is fixed: every key present regardless of values.
+    let json = report.to_json(&closed).to_string_compact();
+    for key in
+        ["\"submitted\"", "\"jobs_per_sec\"", "\"queue_us\"", "\"run_us\"", "\"e2e_us\"", "\"p99\""]
+    {
+        assert!(json.contains(key), "JSON missing {key}: {json}");
+    }
+
+    let open = LoadConfig { mode: Mode::Open { rate_hz: 200.0 }, ..closed };
+    let report = run_load(&open).unwrap();
+    assert_eq!(report.completed + report.failed + report.cancelled, report.accepted);
+    assert!(report.completed > 0);
+
+    Client::connect(&addr).unwrap().shutdown().unwrap();
+    server.join().unwrap();
+}
+
+#[test]
+fn run_job_rejects_bad_specs_and_honours_cancel() {
+    assert!(run_job(&spec("nope", 1, 10, 0), None).is_err());
+    assert!(run_job(&spec("urban-epidemic", 1, 0, 0), None).is_err());
+    assert!(run_job(&spec("urban-epidemic", 1, 10, 0x8000_0000), None).is_err());
+    let cancel = AtomicBool::new(true);
+    let err = run_job(&spec("urban-epidemic", 1, 500, 0), Some(&cancel)).unwrap_err();
+    assert_eq!(err, vc_service::job::JobError::Cancelled);
+}

@@ -52,6 +52,7 @@ pub use vc_auth as auth;
 pub use vc_cloud as cloud;
 pub use vc_crypto as crypto;
 pub use vc_net as net;
+pub use vc_service as service;
 pub use vc_sim as sim;
 pub use vc_trust as trust;
 
