@@ -18,7 +18,10 @@
 //! signature over its own share for either certified identity.
 
 use crate::identity::AuthError;
-use crate::pseudonym::{LinkageSeed, PseudonymMessage, PseudonymWallet};
+use crate::pseudonym::{
+    LinkageSeed, PseudonymCert, PseudonymId, PseudonymMessage, PseudonymWallet,
+};
+use std::collections::BTreeMap;
 use vc_crypto::dh::{EphemeralSecret, PublicShare, SessionKey};
 use vc_crypto::schnorr::VerifyingKey;
 use vc_obs::Recorder;
@@ -73,7 +76,10 @@ impl Initiator {
         seed.extend_from_slice(&entropy.to_be_bytes());
         seed.extend_from_slice(&now.as_micros().to_be_bytes());
         let secret = EphemeralSecret::from_seed(&seed);
-        let share = secret.public_share();
+        let share = {
+            let _f = vc_obs::profile::frame("crypto.basepow");
+            secret.public_share()
+        };
         let envelope = wallet.sign(&hello_payload(&share), now);
         (Initiator { secret, share }, HandshakeMessage { envelope })
     }
@@ -127,7 +133,10 @@ pub fn respond(
     seed.extend_from_slice(&entropy.to_be_bytes());
     seed.extend_from_slice(&now.as_micros().to_be_bytes());
     let secret = EphemeralSecret::from_seed(&seed);
-    let share = secret.public_share();
+    let share = {
+        let _f = vc_obs::profile::frame("crypto.basepow");
+        secret.public_share()
+    };
     let envelope = wallet.sign(&accept_payload(&share, &initiator_share), now);
     let key = secret.agree(&initiator_share, b"vc-handshake-session");
     Ok((key, HandshakeMessage { envelope }))
@@ -218,6 +227,180 @@ pub fn run_handshake_obs(
         }
     }
     Ok(a_key)
+}
+
+/// One cached session with a peer pseudonym.
+#[derive(Debug, Clone, Copy)]
+struct CacheEntry {
+    key: SessionKey,
+    established_at: SimTime,
+    /// Expiry of the peer certificate the session was established under; a
+    /// cached key never outlives the credential that authenticated it.
+    cert_valid_until: SimTime,
+    cert_id: PseudonymId,
+    linkage_value: [u8; 8],
+    /// Logical LRU stamp (monotone per cache; deterministic eviction order).
+    last_used: u64,
+}
+
+/// An LRU session-key cache keyed by peer pseudonym key: vehicles that
+/// re-encounter each other within the TTL reuse the established session key
+/// and skip the DH exchange (two `base_pow` + two `pow` per side) entirely.
+///
+/// Three events end a cached session: TTL expiry, expiry of the peer
+/// certificate it was established under, and revocation
+/// ([`SessionCache::invalidate_revoked`], which callers invoke on every CRL
+/// update). Eviction at capacity removes the least-recently-used entry,
+/// tracked by a logical counter so behaviour is deterministic.
+#[derive(Debug)]
+pub struct SessionCache {
+    entries: BTreeMap<[u8; 32], CacheEntry>,
+    capacity: usize,
+    ttl: SimDuration,
+    stamp: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl SessionCache {
+    /// Creates a cache holding at most `capacity` sessions, each reusable
+    /// for `ttl` after establishment.
+    pub fn new(capacity: usize, ttl: SimDuration) -> Self {
+        assert!(capacity > 0, "session cache capacity must be positive");
+        SessionCache { entries: BTreeMap::new(), capacity, ttl, stamp: 0, hits: 0, misses: 0 }
+    }
+
+    /// Number of live cached sessions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no sessions are cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lookups that returned a reusable key.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that found nothing reusable.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Returns the cached session key for the peer pseudonym key, if one
+    /// exists and is still fresh (within TTL and the peer certificate's
+    /// validity). Expired entries are dropped on sight.
+    pub fn lookup(&mut self, peer_key: &[u8; 32], now: SimTime) -> Option<SessionKey> {
+        if let Some(entry) = self.entries.get_mut(peer_key) {
+            let fresh = now >= entry.established_at
+                && now.saturating_since(entry.established_at) <= self.ttl
+                && now <= entry.cert_valid_until;
+            if fresh {
+                self.stamp += 1;
+                entry.last_used = self.stamp;
+                self.hits += 1;
+                return Some(entry.key);
+            }
+            self.entries.remove(peer_key);
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Caches a freshly established session under the peer's certificate.
+    /// At capacity, the least-recently-used entry is evicted first.
+    pub fn insert(&mut self, peer_cert: &PseudonymCert, key: SessionKey, now: SimTime) {
+        let peer_key = peer_cert.key.to_bytes();
+        if !self.entries.contains_key(&peer_key) && self.entries.len() >= self.capacity {
+            if let Some(victim) =
+                self.entries.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| *k)
+            {
+                self.entries.remove(&victim);
+            }
+        }
+        self.stamp += 1;
+        self.entries.insert(
+            peer_key,
+            CacheEntry {
+                key,
+                established_at: now,
+                cert_valid_until: peer_cert.valid_until,
+                cert_id: peer_cert.id,
+                linkage_value: peer_cert.linkage_value,
+                last_used: self.stamp,
+            },
+        );
+    }
+
+    /// Drops every cached session whose peer certificate matches a revoked
+    /// linkage seed. Callers invoke this on each CRL update so a revoked
+    /// peer can never ride a cached key past its revocation.
+    pub fn invalidate_revoked(&mut self, crl: &[LinkageSeed]) {
+        self.entries.retain(|_, e| {
+            !crl.iter().any(|seed| seed.linkage_value(e.cert_id) == e.linkage_value)
+        });
+    }
+
+    /// Drops sessions past their TTL or their certificate expiry.
+    pub fn purge_expired(&mut self, now: SimTime) {
+        let ttl = self.ttl;
+        self.entries.retain(|_, e| {
+            now >= e.established_at
+                && now.saturating_since(e.established_at) <= ttl
+                && now <= e.cert_valid_until
+        });
+    }
+}
+
+impl vc_obs::MemSize for SessionCache {
+    fn mem_bytes(&self) -> u64 {
+        (self.entries.len() * (32 + std::mem::size_of::<CacheEntry>())) as u64
+    }
+}
+
+/// [`run_handshake_obs`] with session-key reuse: when both sides hold a
+/// fresh cached session for the other's current pseudonym, the DH exchange
+/// is skipped and the cached key returned (`resumed == true`, one
+/// `auth`/`handshake.resume` event, zero modeled hops). Otherwise the full
+/// observed handshake runs and both caches learn the new session.
+///
+/// Resumption is only sound while revocation is propagated into the caches:
+/// callers must run [`SessionCache::invalidate_revoked`] on every CRL
+/// update, after which a revoked peer falls back to the full handshake and
+/// fails there with [`AuthError::Revoked`].
+///
+/// # Errors
+///
+/// Any [`AuthError`] from the underlying handshake (cache misses only).
+#[allow(clippy::too_many_arguments)]
+pub fn run_handshake_cached(
+    a_wallet: &PseudonymWallet,
+    b_wallet: &PseudonymWallet,
+    a_cache: &mut SessionCache,
+    b_cache: &mut SessionCache,
+    params: &HandshakeObsParams<'_>,
+    start: SimTime,
+    entropy: u64,
+    mut rec: Option<&mut Recorder>,
+) -> Result<(SessionKey, bool), AuthError> {
+    let a_peer = b_wallet.current_cert().key.to_bytes();
+    let b_peer = a_wallet.current_cert().key.to_bytes();
+    if let (Some(ka), Some(kb)) = (a_cache.lookup(&a_peer, start), b_cache.lookup(&b_peer, start)) {
+        if ka == kb {
+            if let Some(r) = rec.as_deref_mut() {
+                r.event(start, "auth", "handshake.resume", Vec::new());
+            }
+            return Ok((ka, true));
+        }
+    }
+    let key = run_handshake_obs(a_wallet, b_wallet, params, start, entropy, rec)?;
+    let established = start + params.hop + params.hop;
+    a_cache.insert(b_wallet.current_cert(), key, established);
+    b_cache.insert(a_wallet.current_cert(), key, established);
+    Ok((key, false))
 }
 
 #[cfg(test)]
@@ -404,6 +587,163 @@ mod tests {
             .fields
             .iter()
             .any(|(k, v)| *k == "phase" && *v == vc_obs::Value::Str("accept".into())));
+    }
+
+    fn caches() -> (SessionCache, SessionCache) {
+        (
+            SessionCache::new(16, SimDuration::from_secs(600)),
+            SessionCache::new(16, SimDuration::from_secs(600)),
+        )
+    }
+
+    #[test]
+    fn cached_handshake_resumes_within_ttl() {
+        let net = setup();
+        let params = HandshakeObsParams {
+            ta_key: &net.ta.public_key(),
+            crl: net.registry.crl(),
+            window: window(),
+            hop: SimDuration::from_millis(3),
+        };
+        let (mut ca, mut cb) = caches();
+        let mut rec = Recorder::new();
+        let t0 = SimTime::from_secs(10);
+        let (k1, resumed1) = run_handshake_cached(
+            &net.alice,
+            &net.bob,
+            &mut ca,
+            &mut cb,
+            &params,
+            t0,
+            7,
+            Some(&mut rec),
+        )
+        .unwrap();
+        assert!(!resumed1, "first encounter runs the full handshake");
+        // Re-encounter 60 s later: both caches hit, DH skipped.
+        let t1 = SimTime::from_secs(70);
+        let (k2, resumed2) = run_handshake_cached(
+            &net.alice,
+            &net.bob,
+            &mut ca,
+            &mut cb,
+            &params,
+            t1,
+            8,
+            Some(&mut rec),
+        )
+        .unwrap();
+        assert!(resumed2);
+        assert_eq!(k1.0, k2.0, "resumed session reuses the established key");
+        assert_eq!(rec.hub().counter("auth.handshake.resume"), 1);
+        assert_eq!(rec.hub().counter("auth.handshake.hello"), 1, "only one full exchange");
+        assert_eq!(ca.hits(), 1);
+        assert_eq!(cb.hits(), 1);
+    }
+
+    #[test]
+    fn cached_handshake_expires_after_ttl() {
+        let net = setup();
+        let params = HandshakeObsParams {
+            ta_key: &net.ta.public_key(),
+            crl: net.registry.crl(),
+            window: window(),
+            hop: SimDuration::from_millis(3),
+        };
+        let mut ca = SessionCache::new(4, SimDuration::from_secs(30));
+        let mut cb = SessionCache::new(4, SimDuration::from_secs(30));
+        let t0 = SimTime::from_secs(10);
+        let (_, r1) =
+            run_handshake_cached(&net.alice, &net.bob, &mut ca, &mut cb, &params, t0, 7, None)
+                .unwrap();
+        assert!(!r1);
+        // 60 s later the 30 s TTL has lapsed: full handshake again.
+        let t1 = SimTime::from_secs(70);
+        let (_, r2) =
+            run_handshake_cached(&net.alice, &net.bob, &mut ca, &mut cb, &params, t1, 8, None)
+                .unwrap();
+        assert!(!r2, "expired entry must not resume");
+        assert_eq!(ca.len(), 1, "re-established session replaces the stale one");
+    }
+
+    #[test]
+    fn revocation_invalidates_cached_sessions() {
+        let mut net = setup();
+        let params = HandshakeObsParams {
+            ta_key: &net.ta.public_key(),
+            crl: net.registry.crl(),
+            window: window(),
+            hop: SimDuration::from_millis(3),
+        };
+        let (mut ca, mut cb) = caches();
+        let t0 = SimTime::from_secs(10);
+        run_handshake_cached(&net.alice, &net.bob, &mut ca, &mut cb, &params, t0, 7, None).unwrap();
+        assert_eq!(ca.len(), 1);
+        // Alice is revoked; Bob propagates the CRL update into his cache.
+        net.registry.revoke_identity(net.alice.real_identity());
+        cb.invalidate_revoked(net.registry.crl());
+        assert_eq!(cb.len(), 0, "revoked peer's session dropped");
+        ca.invalidate_revoked(net.registry.crl());
+        assert_eq!(ca.len(), 1, "Bob is not revoked; Alice keeps his session");
+        // The re-encounter cannot resume (Bob's side misses) and the full
+        // handshake now fails on the CRL.
+        let fresh_params = HandshakeObsParams {
+            ta_key: &net.ta.public_key(),
+            crl: net.registry.crl(),
+            window: window(),
+            hop: SimDuration::from_millis(3),
+        };
+        let err = run_handshake_cached(
+            &net.alice,
+            &net.bob,
+            &mut ca,
+            &mut cb,
+            &fresh_params,
+            SimTime::from_secs(20),
+            8,
+            None,
+        )
+        .unwrap_err();
+        assert_eq!(err, AuthError::Revoked);
+    }
+
+    #[test]
+    fn session_cache_lru_eviction_is_deterministic() {
+        let net = setup();
+        let mut cache = SessionCache::new(2, SimDuration::from_secs(600));
+        let now = SimTime::from_secs(1);
+        let key = SessionKey([9u8; 32]);
+        // Three distinct peer certs from Bob's pool.
+        let mut bob = net.bob;
+        let c0 = bob.current_cert().clone();
+        bob.rotate();
+        let c1 = bob.current_cert().clone();
+        bob.rotate();
+        let c2 = bob.current_cert().clone();
+        cache.insert(&c0, key, now);
+        cache.insert(&c1, key, now);
+        // Touch c0 so c1 becomes the LRU victim.
+        assert!(cache.lookup(&c0.key.to_bytes(), SimTime::from_secs(2)).is_some());
+        cache.insert(&c2, key, now);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(&c1.key.to_bytes(), SimTime::from_secs(2)).is_none());
+        assert!(cache.lookup(&c0.key.to_bytes(), SimTime::from_secs(2)).is_some());
+        assert!(cache.lookup(&c2.key.to_bytes(), SimTime::from_secs(2)).is_some());
+    }
+
+    #[test]
+    fn session_cache_respects_cert_expiry_and_purge() {
+        let net = setup();
+        let mut cache = SessionCache::new(4, SimDuration::from_secs(1_000_000));
+        let cert = net.alice.current_cert().clone();
+        cache.insert(&cert, SessionKey([1u8; 32]), SimTime::from_secs(1));
+        // Cert expires at 10_000 s (see setup); a later lookup must miss
+        // even though the TTL is enormous.
+        assert!(cache.lookup(&cert.key.to_bytes(), SimTime::from_secs(10_001)).is_none());
+        assert_eq!(cache.len(), 0, "expired entry dropped on sight");
+        cache.insert(&cert, SessionKey([1u8; 32]), SimTime::from_secs(1));
+        cache.purge_expired(SimTime::from_secs(10_001));
+        assert!(cache.is_empty());
     }
 
     #[test]

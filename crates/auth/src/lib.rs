@@ -53,13 +53,13 @@ pub mod prelude {
         GroupCoordinator, GroupId, GroupMessage, MemberCredential, MemberTag,
     };
     pub use crate::handshake::{
-        respond as handshake_respond, run_handshake_obs, HandshakeMessage, HandshakeObsParams,
-        Initiator,
+        respond as handshake_respond, run_handshake_cached, run_handshake_obs, HandshakeMessage,
+        HandshakeObsParams, Initiator, SessionCache,
     };
     pub use crate::hybrid::{HybridCredential, HybridMessage, RegionalIssuer, TaOpening};
     pub use crate::identity::{AuthError, RealIdentity, TrustedAuthority};
     pub use crate::pseudonym::{
-        LinkageSeed, PseudonymCert, PseudonymId, PseudonymMessage, PseudonymRegistry,
+        CrlFront, LinkageSeed, PseudonymCert, PseudonymId, PseudonymMessage, PseudonymRegistry,
         PseudonymWallet,
     };
     pub use crate::replay::{ReplayGuard, ReplayVerdict};

@@ -1,8 +1,9 @@
 //! Property-based tests for the authentication protocols.
 
 use vc_auth::groupsig::{GroupCoordinator, GroupId};
+use vc_auth::handshake::{run_handshake_cached, HandshakeObsParams, SessionCache};
 use vc_auth::identity::{AuthError, RealIdentity, TrustedAuthority};
-use vc_auth::pseudonym::{LinkageSeed, PseudonymRegistry};
+use vc_auth::pseudonym::{CrlFront, LinkageSeed, PseudonymRegistry};
 use vc_auth::replay::{ReplayGuard, ReplayVerdict};
 use vc_crypto::sha256::sha256;
 use vc_sim::node::VehicleId;
@@ -116,6 +117,172 @@ prop! {
                 prop_assert_eq!(verdict, ReplayVerdict::Duplicate);
             }
         }
+    }
+
+    // The CRL front is a pure cache: for any CRL size and message mix,
+    // verify_with_front returns exactly what the linear-scan verify does,
+    // on both the cold (scan) and warm (memo) paths.
+    #[test]
+    fn crl_front_equivalent_to_linear_verify(crl_size in 0usize..40, tamper in any_u8()) {
+        let mut ta = TrustedAuthority::new(b"prop-ta");
+        let mut reg = PseudonymRegistry::new();
+        let good = RealIdentity::for_vehicle(VehicleId(1));
+        let bad = RealIdentity::for_vehicle(VehicleId(2));
+        ta.register(good.clone(), VehicleId(1));
+        ta.register(bad.clone(), VehicleId(2));
+        let good_wallet = reg
+            .issue_wallet(&ta, &good, 3, SimTime::ZERO, SimTime::from_secs(10_000), b"g")
+            .unwrap();
+        let bad_wallet = reg
+            .issue_wallet(&ta, &bad, 3, SimTime::ZERO, SimTime::from_secs(10_000), b"b")
+            .unwrap();
+        reg.revoke_identity(&bad);
+        for i in 0..crl_size as u64 {
+            let mut s = [0u8; 16];
+            s[..8].copy_from_slice(&i.to_be_bytes());
+            reg.inject_revoked_seed(LinkageSeed(s));
+        }
+        let now = SimTime::from_secs(50);
+        let window = SimDuration::from_secs(5);
+        let mut messages = vec![good_wallet.sign(b"ok", now), bad_wallet.sign(b"revoked", now)];
+        let mut tampered = good_wallet.sign(b"t", now);
+        if tamper & 1 == 0 {
+            tampered.payload = b"forged".to_vec();
+        } else {
+            tampered.cert.valid_until = SimTime::from_secs(999_999);
+        }
+        messages.push(tampered);
+        let mut front = CrlFront::new(reg.crl());
+        for msg in &messages {
+            let slow = vc_auth::pseudonym::verify(msg, &ta.public_key(), front.seeds(), now, window);
+            for _ in 0..2 {
+                let fast = vc_auth::pseudonym::verify_with_front(
+                    msg, &ta.public_key(), &mut front, now, window,
+                );
+                prop_assert_eq!(fast, slow);
+            }
+        }
+    }
+
+    // Session cache: a re-encounter within TTL resumes with the same key;
+    // past the TTL it re-runs the handshake; revocation invalidation always
+    // forces the full (failing) handshake.
+    #[test]
+    fn session_cache_hit_expiry_revocation(gap_secs in 1u64..200, revoke in any_u8()) {
+        let mut ta = TrustedAuthority::new(b"prop-hs");
+        let mut reg = PseudonymRegistry::new();
+        let a_id = RealIdentity::for_vehicle(VehicleId(1));
+        let b_id = RealIdentity::for_vehicle(VehicleId(2));
+        ta.register(a_id.clone(), VehicleId(1));
+        ta.register(b_id.clone(), VehicleId(2));
+        let alice = reg
+            .issue_wallet(&ta, &a_id, 3, SimTime::ZERO, SimTime::from_secs(10_000), b"a")
+            .unwrap();
+        let bob = reg
+            .issue_wallet(&ta, &b_id, 3, SimTime::ZERO, SimTime::from_secs(10_000), b"b")
+            .unwrap();
+        let ttl = SimDuration::from_secs(100);
+        let mut ca = SessionCache::new(8, ttl);
+        let mut cb = SessionCache::new(8, ttl);
+        let params = HandshakeObsParams {
+            ta_key: &ta.public_key(),
+            crl: reg.crl(),
+            window: SimDuration::from_secs(5),
+            hop: SimDuration::from_millis(3),
+        };
+        let t0 = SimTime::from_secs(10);
+        let (k1, r1) =
+            run_handshake_cached(&alice, &bob, &mut ca, &mut cb, &params, t0, 1, None).unwrap();
+        prop_assert!(!r1);
+        if revoke & 1 == 0 {
+            let t1 = SimTime::from_secs(10 + gap_secs);
+            let (k2, r2) =
+                run_handshake_cached(&alice, &bob, &mut ca, &mut cb, &params, t1, 2, None)
+                    .unwrap();
+            // Within TTL (gap <= 100 s) the session resumes with the same
+            // key; past it, a fresh handshake runs.
+            prop_assert_eq!(r2, gap_secs <= 100);
+            if r2 {
+                prop_assert_eq!(k1.0, k2.0);
+            }
+        } else {
+            reg.revoke_identity(&a_id);
+            ca.invalidate_revoked(reg.crl());
+            cb.invalidate_revoked(reg.crl());
+            prop_assert_eq!(cb.len(), 0, "revoked peer's cached session dropped");
+            let fresh = HandshakeObsParams {
+                ta_key: &ta.public_key(),
+                crl: reg.crl(),
+                window: SimDuration::from_secs(5),
+                hop: SimDuration::from_millis(3),
+            };
+            let t1 = SimTime::from_secs(11);
+            let err = run_handshake_cached(&alice, &bob, &mut ca, &mut cb, &fresh, t1, 2, None)
+                .unwrap_err();
+            prop_assert_eq!(err, AuthError::Revoked);
+        }
+    }
+
+    // Hybrid batch verification agrees with sequential verification for any
+    // mix of valid, tampered, and replayed messages.
+    #[test]
+    fn hybrid_batch_matches_sequential(count in 1usize..10, culprit in any_u8(), mode in any_u8()) {
+        let ta = TrustedAuthority::new(b"prop-hy");
+        let opening = vc_auth::hybrid::TaOpening::for_ta(&ta);
+        let mut issuer =
+            vc_auth::hybrid::RegionalIssuer::new(b"prop-region", &opening, SimDuration::from_secs(60));
+        let now = SimTime::from_secs(10);
+        let creds: Vec<_> = (0..3)
+            .map(|i| issuer.issue(&RealIdentity::for_vehicle(VehicleId(i)), now).unwrap())
+            .collect();
+        let mut msgs: Vec<_> =
+            (0..count).map(|i| creds[i % creds.len()].sign(&[i as u8], now)).collect();
+        let idx = culprit as usize % count;
+        match mode % 3 {
+            0 => msgs[idx].payload = b"evil".to_vec(),
+            1 => msgs[idx].cert.valid_until = SimTime::from_secs(999_999),
+            _ => msgs[idx].sent_at = SimTime::ZERO,
+        }
+        let window = SimDuration::from_secs(5);
+        let batch = vc_auth::hybrid::verify_batch(&msgs, &issuer.public_key(), now, window);
+        for (m, got) in msgs.iter().zip(&batch) {
+            prop_assert_eq!(
+                got.clone(),
+                vc_auth::hybrid::verify(m, &issuer.public_key(), now, window)
+            );
+        }
+        prop_assert!(batch[idx].is_err(), "tampered message must fail");
+    }
+
+    // Group-signature batch verification agrees with sequential
+    // verification for any mix of valid and tampered messages.
+    #[test]
+    fn groupsig_batch_matches_sequential(count in 1usize..10, culprit in any_u8(), mode in any_u8()) {
+        let mut coord = GroupCoordinator::new(GroupId(7), b"prop-gs");
+        let creds: Vec<_> = (0..3)
+            .map(|i| coord.admit(RealIdentity::for_vehicle(VehicleId(i))))
+            .collect();
+        let now = SimTime::from_secs(10);
+        let mut msgs: Vec<_> = (0..count)
+            .map(|i| creds[i % creds.len()].sign(&[i as u8], now, i as u64))
+            .collect();
+        let idx = culprit as usize % count;
+        match mode % 3 {
+            0 => msgs[idx].payload = b"evil".to_vec(),
+            1 => msgs[idx].epoch += 1,
+            _ => msgs[idx].sent_at = SimTime::ZERO,
+        }
+        let window = SimDuration::from_secs(5);
+        let batch = vc_auth::groupsig::verify_batch(
+            &msgs, &coord.group_public_key(), coord.epoch(), now, window,
+        );
+        for (m, got) in msgs.iter().zip(&batch) {
+            prop_assert_eq!(
+                got.clone(),
+                vc_auth::groupsig::verify(m, &coord.group_public_key(), coord.epoch(), now, window)
+            );
+        }
+        prop_assert!(batch[idx].is_err(), "tampered message must fail");
     }
 
     // Linkage values are deterministic per (seed, cert) and collide across

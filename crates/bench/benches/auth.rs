@@ -2,9 +2,10 @@
 //! and the CRL-scaling curve (the quantitative core of experiment E4).
 
 use vc_auth::groupsig::{GroupCoordinator, GroupId};
+use vc_auth::handshake::{run_handshake_cached, HandshakeObsParams, SessionCache};
 use vc_auth::hybrid::{RegionalIssuer, TaOpening};
 use vc_auth::identity::{RealIdentity, TrustedAuthority};
-use vc_auth::pseudonym::{LinkageSeed, PseudonymRegistry};
+use vc_auth::pseudonym::{CrlFront, LinkageSeed, PseudonymRegistry};
 use vc_auth::token::{ServiceId, TokenGateway};
 use vc_sim::node::VehicleId;
 use vc_sim::time::{SimDuration, SimTime};
@@ -42,7 +43,58 @@ fn main() {
         suite.bench(&format!("pseudonym/verify_vs_crl/{crl_size}"), || {
             vc_auth::pseudonym::verify(black_box(&msg), &ta.public_key(), reg2.crl(), now, window())
         });
+        // The CrlFront memoizes the scan verdict per cert: warm verifies pay
+        // a map lookup instead of the linear keyed-hash scan above.
+        let mut front = CrlFront::new(reg2.crl());
+        let _ = vc_auth::pseudonym::verify_with_front(
+            &msg,
+            &ta.public_key(),
+            &mut front,
+            now,
+            window(),
+        );
+        suite.bench(&format!("pseudonym/verify_with_front/{crl_size}"), || {
+            vc_auth::pseudonym::verify_with_front(
+                black_box(&msg),
+                &ta.public_key(),
+                &mut front,
+                now,
+                window(),
+            )
+        });
     }
+
+    // ---- session-key reuse ----
+    let sid = RealIdentity::for_vehicle(VehicleId(9));
+    ta.register(sid.clone(), VehicleId(9));
+    let peer = reg
+        .issue_wallet(&ta, &sid, 8, SimTime::ZERO, SimTime::from_secs(100_000), b"peer")
+        .unwrap();
+    let params = HandshakeObsParams {
+        ta_key: &ta.public_key(),
+        crl: reg.crl(),
+        window: window(),
+        hop: SimDuration::from_millis(3),
+    };
+    let ttl = SimDuration::from_secs(600);
+    suite.bench("handshake/full", || {
+        let mut ca = SessionCache::new(4, ttl);
+        let mut cb = SessionCache::new(4, ttl);
+        run_handshake_cached(&wallet, &peer, &mut ca, &mut cb, &params, now, 7, None).unwrap()
+    });
+    let mut ca = SessionCache::new(4, ttl);
+    let mut cb = SessionCache::new(4, ttl);
+    run_handshake_cached(&wallet, &peer, &mut ca, &mut cb, &params, now, 7, None).unwrap();
+    // Resume after the warm handshake completed (keys are cached at
+    // `now + 2*hop`), well inside the TTL.
+    let resume_at = now + SimDuration::from_secs(1);
+    let (_, resumed) =
+        run_handshake_cached(&wallet, &peer, &mut ca, &mut cb, &params, resume_at, 8, None)
+            .unwrap();
+    assert!(resumed, "warm caches must resume, not re-handshake");
+    suite.bench("handshake/cached_resume", || {
+        run_handshake_cached(&wallet, &peer, &mut ca, &mut cb, &params, resume_at, 8, None).unwrap()
+    });
 
     // ---- group signatures ----
     let mut coord = GroupCoordinator::new(GroupId(1), b"bench-group");
@@ -59,6 +111,16 @@ fn main() {
         )
     });
     suite.bench("group/open", || coord.open_message(black_box(&gmsg)));
+    let gbatch: Vec<_> = (0..32u8).map(|i| member.sign(&[i], now, i as u64)).collect();
+    suite.bench("group/verify_batch/32", || {
+        vc_auth::groupsig::verify_batch(
+            black_box(&gbatch),
+            &coord.group_public_key(),
+            coord.epoch(),
+            now,
+            window(),
+        )
+    });
 
     // ---- hybrid regional certs ----
     let ta2 = TrustedAuthority::new(b"bench-hybrid-ta");
@@ -71,6 +133,10 @@ fn main() {
     let hmsg = cred.sign(b"beacon", now);
     suite.bench("hybrid/verify", || {
         vc_auth::hybrid::verify(black_box(&hmsg), &issuer.public_key(), now, window())
+    });
+    let hbatch: Vec<_> = (0..32u8).map(|i| cred.sign(&[i], now)).collect();
+    suite.bench("hybrid/verify_batch/32", || {
+        vc_auth::hybrid::verify_batch(black_box(&hbatch), &issuer.public_key(), now, window())
     });
 
     // ---- capability tokens ----

@@ -47,6 +47,9 @@ fn main() {
         U256::from_hex("fedcba0987654321fedcba0987654321fedcba0987654321fedcba0987654321").unwrap();
     suite.bench("u256/mul_mod", || black_box(a).mul_mod(black_box(b_val), black_box(p)));
     suite.bench("u256/pow_mod", || black_box(a).pow_mod(black_box(b_val), black_box(p)));
+    suite.bench("u256/pow_mod_windowed", || {
+        black_box(a).pow_mod_windowed(black_box(b_val), black_box(p))
+    });
 
     // ---- signatures ----
     let sk = SigningKey::from_seed(b"bench");
@@ -55,8 +58,28 @@ fn main() {
     let sig = sk.sign(&msg);
     suite.bench("schnorr/sign", || sk.sign(black_box(&msg)));
     suite.bench("schnorr/verify", || vk.verify(black_box(&msg), black_box(&sig)));
+    let batch_items: Vec<(
+        Vec<u8>,
+        vc_crypto::schnorr::VerifyingKey,
+        vc_crypto::schnorr::Signature,
+    )> = (0..64u8)
+        .map(|i| {
+            let sk = SigningKey::from_seed(&[i, 0xB, 0xE]);
+            let msg = vec![i; 200];
+            let sig = sk.sign(&msg);
+            (msg, sk.verifying_key(), sig)
+        })
+        .collect();
+    for batch in [8usize, 32, 64] {
+        let refs: Vec<(&[u8], _, _)> =
+            batch_items[..batch].iter().map(|(m, k, s)| (m.as_slice(), *k, *s)).collect();
+        suite.bench(&format!("schnorr/verify_batch/{batch}"), || {
+            vc_crypto::schnorr::verify_batch(black_box(&refs), b"bench").is_ok()
+        });
+    }
     let e = Scalar::from_u64(0xdeadbeefcafe);
     suite.bench("group/base_pow", || Element::base_pow(black_box(e)));
+    suite.bench("group/base_pow_scalar", || Element::base_pow_scalar(black_box(e)));
 
     // ---- key agreement ----
     let alice = EphemeralSecret::from_seed(b"alice");

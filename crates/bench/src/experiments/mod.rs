@@ -1,4 +1,4 @@
-//! The per-experiment modules E1..E19 (see DESIGN.md §4 for the index).
+//! The per-experiment modules E1..E20 (see DESIGN.md §4 for the index).
 
 pub mod e1;
 pub mod e10;
@@ -12,6 +12,7 @@ pub mod e17;
 pub mod e18;
 pub mod e19;
 pub mod e2;
+pub mod e20;
 pub mod e3;
 pub mod e4;
 pub mod e5;
@@ -26,7 +27,7 @@ use vc_obs::Recorder;
 /// An experiment's id, one-line description, supported instrumentation
 /// flags, and runner.
 pub struct Experiment {
-    /// "e1" … "e18".
+    /// "e1" … "e20".
     pub id: &'static str,
     /// One-line description (shown by `experiments --list`).
     pub desc: &'static str,
@@ -163,6 +164,12 @@ pub fn registry() -> Vec<Experiment> {
             flags: PROFILE_ONLY,
             run: e19::run,
         },
+        Experiment {
+            id: "e20",
+            desc: "crypto fast path: batched vs sequential beacon verification",
+            flags: PROFILE_ONLY,
+            run: e20::run,
+        },
     ]
 }
 
@@ -177,7 +184,7 @@ mod tests {
             ids,
             vec![
                 "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-                "e14", "e15", "e16", "e17", "e18", "e19"
+                "e14", "e15", "e16", "e17", "e18", "e19", "e20"
             ]
         );
         for exp in registry() {

@@ -216,7 +216,7 @@ fn list_flag_prints_every_experiment_with_a_description() {
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout).into_owned();
     let lines: Vec<&str> = text.lines().collect();
-    assert_eq!(lines.len(), 19);
+    assert_eq!(lines.len(), 20);
     for (i, line) in lines.iter().enumerate() {
         let id = format!("e{}", i + 1);
         assert!(line.starts_with(&id), "line {i} should start with {id}: {line}");

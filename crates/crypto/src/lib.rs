@@ -19,6 +19,11 @@
 //! have real (not mocked) asymmetric-crypto cost structure at tractable
 //! speed. A deployment would swap in an elliptic-curve group.
 //!
+//! The exponentiation fast paths (fixed-base window table, k-ary
+//! `pow_mod_windowed`, batch Schnorr verification) are result-identical to
+//! the retained square-and-multiply references; `VC_CRYPTO_SCALAR=1` forces
+//! the reference paths process-wide (see docs/CRYPTO.md).
+//!
 //! ## Example
 //!
 //! ```
@@ -48,7 +53,7 @@ pub mod prelude {
     pub use crate::group::{multi_exp, Element, Scalar};
     pub use crate::hmac::{hkdf, hmac_sha256};
     pub use crate::merkle::{MerkleProof, MerkleTree};
-    pub use crate::schnorr::{batch_verify, Signature, SigningKey, VerifyingKey};
+    pub use crate::schnorr::{batch_verify, verify_batch, Signature, SigningKey, VerifyingKey};
     pub use crate::sha256::{sha256, Digest};
     pub use crate::u256::U256;
 }

@@ -87,6 +87,22 @@ impl VerifyingKey {
         lhs == rhs
     }
 
+    /// Verifies `signature` over `message` using only the square-and-multiply
+    /// reference paths ([`Element::base_pow_scalar`] and plain `pow_mod`) —
+    /// the exact work a verifier did before the fixed-base table and windowed
+    /// exponentiation landed. This is the "before" cost basis experiment E20
+    /// measures batch verification against, and what [`verify`](Self::verify)
+    /// degrades to under `VC_CRYPTO_SCALAR=1`. Identical accept/reject
+    /// decisions to `verify` on every input.
+    pub fn verify_scalar(&self, message: &[u8], signature: &Signature) -> bool {
+        let params = crate::group::group();
+        let challenge = challenge_scalar(&signature.commitment, self, message);
+        let lhs = Element::base_pow_scalar(signature.response);
+        let y_to_e = self.point.as_u256().pow_mod(challenge.as_u256(), params.p);
+        let rhs = signature.commitment.as_u256().mul_mod(y_to_e, params.p);
+        lhs.as_u256() == rhs
+    }
+
     /// The public group element.
     pub fn element(&self) -> Element {
         self.point
@@ -144,7 +160,8 @@ impl Signature {
 /// signatures after seeing them). An empty batch verifies trivially.
 ///
 /// Note: a failed batch says *some* signature is bad but not which; callers
-/// bisect or fall back to [`VerifyingKey::verify`].
+/// needing attribution use [`verify_batch`], which falls back to
+/// per-signature verification to pinpoint culprits.
 pub fn batch_verify(items: &[(&[u8], VerifyingKey, Signature)], weight_seed: &[u8]) -> bool {
     if items.is_empty() {
         return true;
@@ -173,6 +190,40 @@ pub fn batch_verify(items: &[(&[u8], VerifyingKey, Signature)], weight_seed: &[u
     lhs == rhs
 }
 
+/// Batch verification with culprit attribution: semantically equivalent to
+/// verifying every triple individually, but a batch of valid signatures
+/// costs one random-linear-combination check ([`batch_verify`]).
+///
+/// On success returns `Ok(())`. When the combined check fails, falls back
+/// to per-signature [`VerifyingKey::verify`] and returns the indices that
+/// fail individually — per-signature verification is the ground truth, so
+/// the result is exactly the set a sequential verifier would reject. (A
+/// batch of individually-valid signatures satisfies the combined equation
+/// *identically*, so the fallback never runs on an all-valid batch; the
+/// 2^-128 soundness gap runs the other way — see docs/CRYPTO.md.)
+///
+/// Weights are derived by pure hashing of the batch transcript and
+/// `weight_seed` — never an RNG draw — so results are deterministic and
+/// shard-count-invariant.
+///
+/// # Errors
+///
+/// `Err(indices)` of the individually-failing items, in ascending order.
+pub fn verify_batch(
+    items: &[(&[u8], VerifyingKey, Signature)],
+    weight_seed: &[u8],
+) -> Result<(), Vec<usize>> {
+    if batch_verify(items, weight_seed) {
+        return Ok(());
+    }
+    Err(items
+        .iter()
+        .enumerate()
+        .filter(|(_, (msg, key, sig))| !key.verify(msg, sig))
+        .map(|(i, _)| i)
+        .collect())
+}
+
 /// Minimal transcript helper for deriving batch weights.
 struct Sha256Transcript {
     state: [u8; 32],
@@ -187,9 +238,16 @@ impl Sha256Transcript {
         self.state = sha256_parts(&[&self.state, data]);
     }
 
+    /// The i-th batch weight: the low 128 bits of a transcript-bound hash
+    /// (zero bumped to one). Half-width weights halve the multiply count
+    /// the commitment terms contribute to the shared multi-exponentiation
+    /// while keeping the forgery probability at the same 2^-128 bound the
+    /// full-width weights gave (the bound is `1/#weights`, not `1/q`).
     fn weight(&self, index: u64) -> Scalar {
-        let mut w =
-            Scalar::hash_to_scalar(&[b"vc-batch-weight", &self.state, &index.to_be_bytes()]);
+        let digest = sha256_parts(&[b"vc-batch-weight", &self.state, &index.to_be_bytes()]);
+        let mut low = [0u8; 16];
+        low.copy_from_slice(&digest[16..]);
+        let mut w = Scalar::from_u256(crate::u256::U256::from(u128::from_be_bytes(low)));
         if w.is_zero() {
             w = Scalar::one();
         }
@@ -337,6 +395,43 @@ mod tests {
         let bad =
             Signature { commitment: sig.commitment, response: sig.response.add(Scalar::one()) };
         assert!(!batch_verify(&[(b"m", sk.verifying_key(), bad)], b"x"));
+    }
+
+    #[test]
+    fn verify_batch_attributes_single_culprit() {
+        let mut items: Vec<(Vec<u8>, VerifyingKey, Signature)> = (0..8u8)
+            .map(|i| {
+                let sk = SigningKey::from_seed(&[i; 4]);
+                let msg = vec![i; 20];
+                let sig = sk.sign(&msg);
+                (msg, sk.verifying_key(), sig)
+            })
+            .collect();
+        fn refs(
+            items: &[(Vec<u8>, VerifyingKey, Signature)],
+        ) -> Vec<(&[u8], VerifyingKey, Signature)> {
+            items.iter().map(|(m, k, s)| (m.as_slice(), *k, *s)).collect()
+        }
+        assert_eq!(verify_batch(&refs(&items), b"seed"), Ok(()));
+        assert_eq!(verify_batch(&[], b"seed"), Ok(()), "empty batch verifies");
+        // Exactly one forged signature must fail the batch AND be attributed.
+        items[5].0[0] ^= 1;
+        assert_eq!(verify_batch(&refs(&items), b"seed"), Err(vec![5]));
+        // A second culprit joins the list, ascending order.
+        items[2].2.response = items[2].2.response.add(Scalar::one());
+        assert_eq!(verify_batch(&refs(&items), b"seed"), Err(vec![2, 5]));
+    }
+
+    #[test]
+    fn verify_scalar_agrees_with_verify() {
+        let sk = SigningKey::from_seed(b"scalar-ref");
+        let vk = sk.verifying_key();
+        let sig = sk.sign(b"beacon");
+        assert!(vk.verify_scalar(b"beacon", &sig));
+        assert!(!vk.verify_scalar(b"tampered", &sig));
+        let bumped =
+            Signature { commitment: sig.commitment, response: sig.response.add(Scalar::one()) };
+        assert!(!vk.verify_scalar(b"beacon", &bumped));
     }
 
     #[test]

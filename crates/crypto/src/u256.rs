@@ -311,6 +311,49 @@ impl U256 {
         result
     }
 
+    /// `self^exp mod m` by fixed-window (k-ary, 4-bit) exponentiation.
+    ///
+    /// Result-identical to [`U256::pow_mod`] (which is retained as the
+    /// reference oracle for the property suite and the `VC_CRYPTO_SCALAR=1`
+    /// escape hatch) but processes the exponent a nibble at a time: one
+    /// 15-entry power table up front, then four squarings plus at most one
+    /// multiply per nibble instead of one multiply per set bit — ~6 fewer
+    /// multiplies per 16 exponent bits on random exponents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn pow_mod_windowed(&self, exp: U256, m: U256) -> U256 {
+        assert!(!m.is_zero(), "zero modulus");
+        if m == U256::ONE {
+            return U256::ZERO;
+        }
+        let bits = exp.bits();
+        if bits == 0 {
+            return U256::ONE;
+        }
+        let base = self.rem(m);
+        // table[j] = base^(j+1) mod m.
+        let mut table = [base; 15];
+        for j in 1..15 {
+            table[j] = table[j - 1].mul_mod(base, m);
+        }
+        let top_window = (bits - 1) / 4;
+        let mut result = U256::ONE;
+        for w in (0..=top_window).rev() {
+            if w != top_window {
+                for _ in 0..4 {
+                    result = result.mul_mod(result, m);
+                }
+            }
+            let nibble = (exp.limbs[w / 16] >> ((w % 16) * 4)) & 0xF;
+            if nibble != 0 {
+                result = result.mul_mod(table[nibble as usize - 1], m);
+            }
+        }
+        result
+    }
+
     /// Modular inverse for a **prime** modulus, via Fermat's little theorem.
     ///
     /// Returns `None` when `self ≡ 0 (mod p)`.
@@ -578,6 +621,33 @@ mod tests {
         let y = U256::from_hex("4c7df5ef507f1eaf801ace29ff42eeff97cbeb8b99dabd0ef07e5c3033122959")
             .unwrap();
         assert_eq!(u(4).pow_mod(u(0x1234567890abcdef), p), y);
+    }
+
+    #[test]
+    fn pow_mod_windowed_matches_reference() {
+        let p = U256::from_hex("a252363211224274024c034527879257e2663936263f2ec0e8818b63737f276b")
+            .unwrap();
+        let exps = [
+            U256::ZERO,
+            U256::ONE,
+            u(5),
+            u(0x1234567890abcdef),
+            U256::from_hex("51291b190891213a012601a293c3c92bf1331c9b131f97607440c5b1b9bf93b5")
+                .unwrap(),
+            U256::MAX,
+        ];
+        for base in [u(2), u(4), u(0xdeadbeef), p.wrapping_sub(U256::ONE)] {
+            for exp in exps {
+                assert_eq!(
+                    base.pow_mod_windowed(exp, p),
+                    base.pow_mod(exp, p),
+                    "base={base} exp={exp}"
+                );
+            }
+        }
+        // Small-modulus corners.
+        assert_eq!(u(3).pow_mod_windowed(u(4), U256::ONE), U256::ZERO, "mod 1 is zero");
+        assert_eq!(u(2).pow_mod_windowed(u(10), u(1_000_000_007)), u(1024));
     }
 
     #[test]

@@ -72,6 +72,42 @@ prop! {
         prop_assert_eq!(x.shl_bits(n).shr_bits(n).shl_bits(n), x.shl_bits(n));
     }
 
+    // ---- windowed exponentiation vs the square-and-multiply oracle ----
+
+    #[test]
+    fn pow_mod_windowed_matches_reference(base in any_words::<4>(), exp in any_words::<4>()) {
+        let p = vc_crypto::group::group().p;
+        let b = U256::from_limbs(base);
+        let e = U256::from_limbs(exp);
+        prop_assert_eq!(b.pow_mod_windowed(e, p), b.pow_mod(e, p));
+        // Also against a small modulus where the u128 oracle reaches.
+        let m = U256::from(1_000_000_007u128);
+        prop_assert_eq!(b.pow_mod_windowed(e, m), b.pow_mod(e, m));
+    }
+
+    #[test]
+    fn base_pow_table_matches_reference(seed in any_bytes::<16>()) {
+        let e = Scalar::hash_to_scalar(&[b"prop-basepow", &seed]);
+        prop_assert_eq!(Element::base_pow(e), Element::base_pow_scalar(e));
+    }
+
+    #[test]
+    fn multi_exp_windowed_matches_binary(count in 1usize..6, seed in any_bytes::<8>(),
+                                         short in any_u64()) {
+        let mut bases = Vec::new();
+        let mut exps = Vec::new();
+        for i in 0..count {
+            bases.push(Element::base_pow(Scalar::hash_to_scalar(&[b"b", &seed, &[i as u8]])));
+            exps.push(Scalar::hash_to_scalar(&[b"e", &seed, &[i as u8]]));
+        }
+        // Mix in a short exponent (batch weights are 128-bit).
+        exps[0] = Scalar::from_u64(short);
+        prop_assert_eq!(
+            vc_crypto::group::multi_exp(&bases, &exps),
+            vc_crypto::group::multi_exp_binary(&bases, &exps)
+        );
+    }
+
     // ---- group / scalar laws ----
 
     #[test]
@@ -152,11 +188,49 @@ prop! {
         let sk = SigningKey::from_seed(&seed);
         let sig = sk.sign(&msg);
         prop_assert!(sk.verifying_key().verify(&msg, &sig));
+        // The square-and-multiply reference path decides identically.
+        prop_assert!(sk.verifying_key().verify_scalar(&msg, &sig));
         let mut bytes = sig.to_bytes();
         // Flip a bit in the response half (commitment flips may fail to parse).
         bytes[32 + (flip as usize % 32)] ^= 1;
         if let Some(bad) = Signature::from_bytes(&bytes) {
             prop_assert!(!sk.verifying_key().verify(&msg, &bad));
+            prop_assert!(!sk.verifying_key().verify_scalar(&msg, &bad));
+        }
+    }
+
+    // Batch verification is equivalent to sequential verification: an
+    // all-valid batch passes, and with exactly one forged signature the
+    // batch fails and attributes precisely that index.
+    #[test]
+    fn batch_verify_equivalent_to_sequential(count in 1usize..10, culprit in any_u8(),
+                                             tamper in any_u8()) {
+        let items: Vec<(Vec<u8>, vc_crypto::schnorr::VerifyingKey, vc_crypto::schnorr::Signature)> =
+            (0..count)
+                .map(|i| {
+                    let sk = SigningKey::from_seed(&[i as u8, 0xB, 0xC]);
+                    let msg = vec![i as u8; 1 + i];
+                    let sig = sk.sign(&msg);
+                    (msg, sk.verifying_key(), sig)
+                })
+                .collect();
+        let refs: Vec<(&[u8], _, _)> =
+            items.iter().map(|(m, k, s)| (m.as_slice(), *k, *s)).collect();
+        prop_assert_eq!(vc_crypto::schnorr::verify_batch(&refs, b"prop"), Ok(()));
+        // Forge exactly one signature (bump response or flip a payload byte).
+        let mut forged = items.clone();
+        let idx = culprit as usize % count;
+        if tamper & 1 == 0 {
+            forged[idx].2.response = forged[idx].2.response.add(Scalar::one());
+        } else {
+            forged[idx].0[0] ^= 1;
+        }
+        let refs: Vec<(&[u8], _, _)> =
+            forged.iter().map(|(m, k, s)| (m.as_slice(), *k, *s)).collect();
+        prop_assert_eq!(vc_crypto::schnorr::verify_batch(&refs, b"prop"), Err(vec![idx]));
+        // Sequential ground truth agrees item by item.
+        for (i, (m, k, s)) in refs.iter().enumerate() {
+            prop_assert_eq!(k.verify(m, s), i != idx);
         }
     }
 
